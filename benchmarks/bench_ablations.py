@@ -1,0 +1,118 @@
+"""Ablations beyond the paper: tolerances, view limits, routing, drift."""
+
+from repro.bench.ablations import (
+    run_advisor_ablation,
+    run_autoflush_ablation,
+    run_drift_ablation,
+    run_max_views_ablation,
+    run_routing_ablation,
+    run_tolerance_ablation,
+)
+from repro.bench.render import render_ablation
+
+
+def test_ablation_tolerances(benchmark, report_sink):
+    result = benchmark.pedantic(run_tolerance_ablation, rounds=1, iterations=1)
+    report_sink(
+        "ablation_tolerances",
+        render_ablation(
+            result,
+            title="Ablation — discard/replacement tolerances d = r (sine sweep)",
+        ),
+    )
+    strict = result.points[0]
+    loosest = result.points[-1]
+    assert loosest.views_created <= strict.views_created
+
+
+def test_ablation_max_views(benchmark, report_sink):
+    result = benchmark.pedantic(run_max_views_ablation, rounds=1, iterations=1)
+    report_sink(
+        "ablation_max_views",
+        render_ablation(
+            result, title="Ablation — maximum number of partial views (sine sweep)"
+        ),
+    )
+    none = result.points[0]
+    most = result.points[-1]
+    assert none.views_created == 0
+    assert most.accumulated_s < none.accumulated_s
+
+
+def test_ablation_routing_mode(benchmark, report_sink):
+    result = benchmark.pedantic(run_routing_ablation, rounds=1, iterations=1)
+    report_sink(
+        "ablation_routing_mode",
+        render_ablation(
+            result,
+            title=(
+                "Ablation — single vs multi vs cost-based multi routing "
+                "(1% selectivity; multi_cost implements the paper's "
+                "future work)"
+            ),
+        ),
+    )
+    labels = [p.label for p in result.points]
+    assert labels == ["single", "multi", "multi_cost"]
+    by_label = {p.label: p for p in result.points}
+    # cost-based routing never scans more pages than naive multi routing
+    assert (
+        by_label["multi_cost"].total_pages_scanned
+        <= by_label["multi"].total_pages_scanned
+    )
+
+
+def test_ablation_autoflush(benchmark, report_sink):
+    result = benchmark.pedantic(run_autoflush_ablation, rounds=1, iterations=1)
+    report_sink(
+        "ablation_autoflush",
+        render_ablation(
+            result,
+            title=(
+                "Ablation — auto-flush batch thresholds (maps parse is "
+                "paid once per batch)"
+            ),
+        ),
+    )
+    per_update = result.points[0]  # threshold 1: parse per update
+    batched = result.points[-1]
+    assert batched.accumulated_s < per_update.accumulated_s
+
+
+def test_ablation_advisor(benchmark, report_sink):
+    result = benchmark.pedantic(run_advisor_ablation, rounds=1, iterations=1)
+    report_sink(
+        "ablation_advisor",
+        render_ablation(
+            result,
+            title=(
+                "Ablation — offline view advisor (perfect knowledge) vs "
+                "online adaptation vs full scans"
+            ),
+        ),
+    )
+    by_label = {p.label: p for p in result.points}
+    # both view strategies beat full scans on a hotspot workload
+    assert by_label["adaptive"].accumulated_s < by_label["full_scan"].accumulated_s
+    assert (
+        by_label["advised_static"].accumulated_s
+        < by_label["full_scan"].accumulated_s
+    )
+
+
+def test_ablation_drift(benchmark, report_sink):
+    result = benchmark.pedantic(run_drift_ablation, rounds=1, iterations=1)
+    report_sink(
+        "ablation_drift",
+        render_ablation(
+            result,
+            title=(
+                "Ablation — view limits under a drifting hotspot workload "
+                "(generation stops permanently at the limit)"
+            ),
+        ),
+    )
+    tightest = result.points[0]
+    loosest = result.points[-1]
+    # a generous limit adapts through the drift and ends up faster
+    assert loosest.accumulated_s <= tightest.accumulated_s

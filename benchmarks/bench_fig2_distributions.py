@@ -1,0 +1,14 @@
+"""Figure 2 — regenerate and profile the clustered data distributions."""
+
+from repro.bench.fig2 import run_fig2
+from repro.bench.render import render_fig2
+
+
+def test_fig2_distributions(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    report_sink("fig2_distributions", render_fig2(result))
+
+    sine = result.profiles["sine"]
+    assert abs(sine.detected_period - 100) <= 2
+    assert result.profiles["sparse"].zero_page_fraction > 0.85
+    assert result.profiles["linear"].page_level_correlation > 0.99

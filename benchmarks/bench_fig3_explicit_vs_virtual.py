@@ -1,0 +1,15 @@
+"""Figure 3 — query performance of explicit vs virtual partial views."""
+
+from repro.bench.fig3 import run_fig3
+from repro.bench.render import FIG3_VARIANTS, render_fig3
+
+
+def test_fig3_explicit_vs_virtual(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    report_sink("fig3_explicit_vs_virtual", render_fig3(result))
+
+    for k in result.ks:
+        points = result.by_k(k)
+        times = {v: points[v].query_ms for v in FIG3_VARIANTS}
+        assert times["zone_map"] == max(times.values())
+        assert times["virtual_view"] == min(times.values())

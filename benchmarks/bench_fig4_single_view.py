@@ -1,0 +1,14 @@
+"""Figure 4 — adaptive query processing, single-view mode."""
+
+from repro.bench.fig4 import run_fig4
+from repro.bench.render import render_fig4
+
+
+def test_fig4_single_view_adaptive(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    report_sink("fig4_single_view", render_fig4(result))
+
+    for name, series in result.series.items():
+        assert series.speedup > 1.0, name
+        phases = series.adaptive_phase_ms
+        assert min(phases[1:]) < phases[0], name

@@ -1,0 +1,13 @@
+"""Figure 5 — adaptive query processing, multi-view mode."""
+
+from repro.bench.fig5 import run_fig5
+from repro.bench.render import render_fig5
+
+
+def test_fig5_multi_view_adaptive(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    report_sink("fig5_multi_view", render_fig5(result))
+
+    for label, series in result.series.items():
+        assert series.speedup > 1.0, label
+        assert series.max_views_used >= 2, label

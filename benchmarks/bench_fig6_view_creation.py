@@ -1,0 +1,22 @@
+"""Figure 6 — impact of the optimizations on view creation."""
+
+from repro.bench.fig6 import run_fig6
+from repro.bench.render import render_fig6
+
+
+def test_fig6_view_creation_optimizations(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    report_sink("fig6_view_creation", render_fig6(result))
+
+    for case in ("uniform", "sine"):
+        points = result.by_case(case)
+        assert points["both"].elapsed_ms == min(p.elapsed_ms for p in points.values())
+        assert result.speedup(case) > 1.3
+        assert points["coalesce"].mmap_calls < points["none"].mmap_calls
+        assert points["thread"].map_lane_ms > 0
+
+    def coalesce_gain(case):
+        points = result.by_case(case)
+        return points["none"].elapsed_ms / points["coalesce"].elapsed_ms
+
+    assert coalesce_gain("sine") > coalesce_gain("uniform")

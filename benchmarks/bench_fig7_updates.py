@@ -1,0 +1,19 @@
+"""Figure 7 — update performance of partial views."""
+
+from repro.bench.fig7 import run_fig7
+from repro.bench.render import render_fig7
+
+
+def test_fig7_update_performance(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    report_sink("fig7_updates", render_fig7(result))
+
+    for case in ("uniform", "sine"):
+        points = result.by_case(case)
+        for point in points[:-1]:
+            assert point.total_ms < point.rebuild_ms, (case, point.batch_size)
+        assert points[0].parse_ms > points[0].update_ms
+    assert (
+        result.by_case("uniform")[0].maps_lines
+        > result.by_case("sine")[0].maps_lines
+    )

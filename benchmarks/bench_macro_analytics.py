@@ -1,0 +1,19 @@
+"""Macro benchmark — mixed analytics over a multi-column table."""
+
+from repro.bench.macro import render_macro, run_macro
+
+
+def test_macro_analytics_workload(benchmark, report_sink):
+    result = benchmark.pedantic(run_macro, rounds=1, iterations=1)
+    report_sink("macro_analytics", render_macro(result))
+
+    # every adaptive configuration beats pure full scans
+    assert result.speedup("adaptive_single") > 1.0
+    assert result.speedup("adaptive_multi_cost") > 1.0
+    # views actually got created on both filtered columns
+    assert result.by_label("adaptive_single").views_created > 5
+    # the adaptive engines scan far fewer pages
+    assert (
+        result.by_label("adaptive_single").pages_scanned
+        < result.by_label("full_scan").pages_scanned
+    )

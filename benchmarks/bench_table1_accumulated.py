@@ -1,0 +1,14 @@
+"""Table 1 — accumulated response time over the whole query sequence."""
+
+from repro.bench.render import render_table1
+from repro.bench.table1 import run_table1
+
+
+def test_table1_accumulated_response_time(benchmark, report_sink):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report_sink("table1_accumulated", render_table1(result))
+
+    assert len(result.rows) == 5
+    for row in result.rows:
+        assert row.adaptive_s < row.full_scan_s, row.experiment
+    assert result.best_factor > 1.2

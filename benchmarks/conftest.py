@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark renders a plain-text report with the same rows/series
+the paper's figure or table shows, next to the paper's reported numbers.
+Reports are printed (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt`` so a plain ``pytest benchmarks/
+--benchmark-only`` run leaves the evidence on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report_sink():
+    """Write (and print) a benchmark's figure report."""
+
+    def emit(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return emit

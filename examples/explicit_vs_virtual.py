@@ -1,0 +1,63 @@
+"""Explicit vs virtual partial views on one workload (paper §3.1).
+
+Builds the same partial index four ways — zone map, page bitmap, vector
+of page addresses, and a rewired virtual view — runs updates to scatter
+the indexed pages, and compares simulated query times.
+
+Run:  python examples/explicit_vs_virtual.py
+"""
+
+import numpy as np
+
+from repro.baselines import VARIANTS
+from repro.bench.harness import fresh_column, make_update_batch
+from repro.workloads.distributions import uniform
+
+NUM_PAGES = 4_000
+DOMAIN = (0, 100_000_000)
+INDEX_RANGE = (0, 400_000)  # the partial view's value range
+QUERY_RANGE = (0, 200_000)  # the query inside it
+NUM_UPDATES = 500
+
+
+def main() -> None:
+    values = uniform(NUM_PAGES, *DOMAIN, seed=5)
+    print(
+        f"column: {NUM_PAGES:,} pages; index on [0, {INDEX_RANGE[1]:,}]; "
+        f"query [0, {QUERY_RANGE[1]:,}] after {NUM_UPDATES} random updates\n"
+    )
+
+    reference = None
+    print(f"{'variant':<14} {'build ms':>9} {'query ms':>9} {'pages':>7} {'rows':>8}")
+    for kind, variant_cls in VARIANTS.items():
+        column = fresh_column(values, name="demo")
+        cost = column.mapper.cost
+        index = variant_cls(column, *INDEX_RANGE)
+
+        with cost.region() as build_region:
+            index.build()
+        batch = make_update_batch(column, NUM_UPDATES, *DOMAIN, seed=9)
+        index.apply_updates(batch)
+        with cost.region() as query_region:
+            rowids, _ = index.query(*QUERY_RANGE)
+
+        rows = sorted(rowids.tolist())
+        if reference is None:
+            reference = rows
+        assert rows == reference, f"{kind} returned different rows!"
+
+        print(
+            f"{kind:<14} {build_region.elapsed_ns() / 1e6:>9.3f} "
+            f"{query_region.elapsed_ns() / 1e6:>9.3f} "
+            f"{index.indexed_pages():>7,} {len(rows):>8,}"
+        )
+
+    print(
+        "\nall variants return identical rows; the virtual view is the\n"
+        "cheapest lookup because its pages are virtually contiguous and\n"
+        "stream at full bandwidth (the paper's Figure 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

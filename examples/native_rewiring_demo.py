@@ -1,0 +1,62 @@
+"""Real memory rewiring from Python — the paper's mechanism, live.
+
+Uses the optional ctypes backend to perform actual mmap(MAP_FIXED)
+rewiring against a tmpfs/memfd main-memory file, exactly as the paper's
+C++ system does on a vanilla Linux kernel (no root required):
+
+1. reserve a virtual region (the over-allocation),
+2. point its pages at arbitrary physical pages,
+3. repoint them at runtime,
+4. demonstrate shared physical pages between two virtual addresses.
+
+Run:  python examples/native_rewiring_demo.py
+"""
+
+from repro.native import NativeMemoryFile, RewiredRegion, is_supported
+from repro.vm.constants import PAGE_SIZE
+
+
+def main() -> None:
+    if not is_supported():
+        print("native rewiring is not supported on this platform "
+              "(needs Linux with mmap + memfd/tmpfs); nothing to demo.")
+        return
+
+    print(f"page size: {PAGE_SIZE} bytes; creating an 8-page "
+          f"main-memory file...")
+    with NativeMemoryFile(8) as file, RewiredRegion(8) as view:
+        # label every physical page so we can see where pointers go
+        for page in range(8):
+            file.write_page(page, f"PHYS-{page} ".encode() * 8)
+
+        print("\n1) rewire view pages [0..3] to physical pages [7,5,3,1]:")
+        for slot, phys in enumerate([7, 5, 3, 1]):
+            view.map_range(slot, file, phys)
+        for slot in range(4):
+            print(f"   view[{slot}] reads {view.read(slot, 7).decode()!r}")
+
+        print("\n2) repoint view[0] at physical page 2 (one mmap call):")
+        view.map_range(0, file, 2)
+        print(f"   view[0] now reads {view.read(0, 7).decode()!r}")
+
+        print("\n3) shared physical page: view[6] also maps physical 2;")
+        view.map_range(6, file, 2)
+        view.write(6, b"HELLO!!")
+        print(f"   write through view[6], read via view[0]: "
+              f"{view.read(0, 7).decode()!r}")
+        print(f"   ...and via the file handle: "
+              f"{file.read_page(2)[:7].decode()!r}")
+
+        print("\n4) coalesced run: map view[4..5] onto physical [0..1] "
+              "with a single mmap call:")
+        view.map_range(4, file, 0, npages=2)
+        print(f"   view[4] reads {view.read(4, 7).decode()!r}, "
+              f"view[5] reads {view.read(5, 7).decode()!r}")
+
+    print("\nThis is the exact kernel mechanism the adaptive storage "
+          "layer builds on;\nthe simulated substrate (repro.vm) mirrors "
+          "these semantics deterministically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Run the complete paper reproduction and print every figure/table.
+
+Executes all experiments (Figures 2-7 and Table 1) at the configured
+scale and prints the paper-shaped reports.  Set REPRO_SCALE to run
+closer to paper scale (e.g. REPRO_SCALE=8 for 8x larger columns).
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.bench import run_all, scaled_pages
+from repro.bench.paper import PAPER_BEST_FACTOR, SHAPES
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    num_pages = 1024 if quick else scaled_pages()
+    num_queries = 100 if quick else 250
+
+    print(
+        f"reproducing all experiments at {num_pages:,} pages per column "
+        f"({'quick mode' if quick else 'default scale'})..."
+    )
+    started = time.time()
+    suite = run_all(num_pages=num_pages, num_queries=num_queries)
+    print(f"done in {time.time() - started:.1f} s wall time\n")
+
+    # Figure 3
+    variants = ["zone_map", "bitmap", "page_vector", "virtual_view"]
+    rows = [
+        [k, *[f"{suite.fig3.by_k(k)[v].query_ms:.3f}" for v in variants]]
+        for k in suite.fig3.ks
+    ]
+    print(format_table(["k", *variants], rows,
+                       title="Figure 3 — explicit vs virtual (simulated ms)"))
+
+    # Figure 4
+    rows = [
+        [name, f"{s.full_scan.accumulated_seconds:.3f}",
+         f"{s.adaptive.accumulated_seconds:.3f}", f"{s.speedup:.2f}x",
+         s.views_created]
+        for name, s in suite.fig4.series.items()
+    ]
+    print()
+    print(format_table(
+        ["distribution", "full [s]", "adaptive [s]", "speedup", "views"],
+        rows, title="Figure 4 — single-view adaptive processing"))
+
+    # Figure 5
+    rows = [
+        [label, f"{s.speedup:.2f}x", s.max_views_used]
+        for label, s in suite.fig5.series.items()
+    ]
+    print()
+    print(format_table(["case", "speedup", "max views/query"], rows,
+                       title="Figure 5 — multi-view adaptive processing"))
+
+    # Table 1
+    rows = [
+        [r.experiment, f"{r.full_scan_s:.3f}", f"{r.adaptive_s:.3f}",
+         f"{r.factor:.2f}x", f"{r.paper_factor:.2f}x"]
+        for r in suite.table1.rows
+    ]
+    print()
+    print(format_table(
+        ["experiment", "full [s]", "adaptive [s]", "factor", "paper factor"],
+        rows, title="Table 1 — accumulated response time"))
+    print(f"best factor {suite.table1.best_factor:.2f}x "
+          f"(paper: up to {PAPER_BEST_FACTOR}x)")
+
+    # Figure 6
+    rows = []
+    for case in ("uniform", "sine"):
+        for variant, point in suite.fig6.by_case(case).items():
+            rows.append([case, variant, f"{point.elapsed_ms:.3f}",
+                         point.mmap_calls])
+    print()
+    print(format_table(["case", "variant", "elapsed [ms]", "mmap calls"],
+                       rows, title="Figure 6 — view creation optimizations"))
+
+    # Figure 7
+    rows = []
+    for case in ("uniform", "sine"):
+        for point in suite.fig7.by_case(case):
+            winner = "update" if point.total_ms < point.rebuild_ms else "rebuild"
+            rows.append([case, point.batch_size, f"{point.total_ms:.3f}",
+                         f"{point.rebuild_ms:.3f}", point.pages_added,
+                         point.pages_removed, winner])
+    print()
+    print(format_table(
+        ["case", "batch", "update total [ms]", "rebuild [ms]", "added",
+         "removed", "winner"],
+        rows, title="Figure 7 — update vs rebuild"))
+
+    print("\npaper shapes being reproduced:")
+    for shape in SHAPES:
+        print(f"  [{shape.experiment}] {shape.claim}")
+
+
+if __name__ == "__main__":
+    main()

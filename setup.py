@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+A classic setup.py (rather than a PEP 517 build) so that editable
+installs work in fully offline environments without the ``wheel``
+package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Adaptive storage views in virtual memory (CIDR 2023 reproduction)",
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,25 @@
+"""Baseline indexes: the explicit partial-view variants of Section 3.1
+plus the full-scan reference of Sections 3.2/3.3."""
+
+from .bitmap_index import BitmapIndex
+from .full_scan import FullScanBaseline
+from .interface import PartialIndexBase
+from .page_vector import PageVectorIndex
+from .virtual_view_index import VirtualViewIndex
+from .zone_map import ZoneMapIndex
+
+#: All Figure 3 variants keyed by their ``kind`` identifier.
+VARIANTS = {
+    cls.kind: cls
+    for cls in (ZoneMapIndex, BitmapIndex, PageVectorIndex, VirtualViewIndex)
+}
+
+__all__ = [
+    "BitmapIndex",
+    "FullScanBaseline",
+    "PageVectorIndex",
+    "PartialIndexBase",
+    "VARIANTS",
+    "VirtualViewIndex",
+    "ZoneMapIndex",
+]

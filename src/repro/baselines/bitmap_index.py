@@ -1,0 +1,57 @@
+"""Explicit variant "Bitmap" (Section 3.1).
+
+Maintains a separate bitvector in which a one denotes that the page
+holds at least one value of the indexed range.  A lookup scans the
+bitvector and jumps into the column for each qualifying page; the jumps
+are data-dependent, so they pay the random page access cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.scan import batch_scan
+from ..storage.updates import UpdateBatch
+from ..vm.cost import MAIN_LANE
+from .interface import PartialIndexBase
+
+
+class BitmapIndex(PartialIndexBase):
+    """Qualifying-page bitvector over the indexed range."""
+
+    kind = "bitmap"
+
+    def _build(self, qualifying_fpages: np.ndarray, lane: str) -> None:
+        self._bits = np.zeros(self.column.num_pages, dtype=bool)
+        self._bits[qualifying_fpages] = True
+
+    def _query(self, qlo: int, qhi: int, lane: str) -> tuple[np.ndarray, np.ndarray]:
+        # Scan the bitvector word-wise, then jump to each set page.
+        self.cost.bitvector_scan(self.column.num_pages, lane)
+        pages = np.nonzero(self._bits)[0].astype(np.int64)
+        result = batch_scan(self.column, pages, qlo, qhi, access_kind="random", lane=lane)
+        return result.rowids, result.values
+
+    def apply_updates(self, batch: UpdateBatch, lane: str = MAIN_LANE) -> None:
+        """Set bits for newly qualifying pages; clear only after a page
+        scan proves no qualifying value remains."""
+        for page, updates in batch.compact().group_by_page(self.column.values_per_page).items():
+            any_new_in = any(self.lo <= u.new <= self.hi for u in updates)
+            if any_new_in:
+                self._bits[page] = True
+                continue
+            if not self._bits[page]:
+                continue
+            any_old_in = any(self.lo <= u.old <= self.hi for u in updates)
+            if not any_old_in:
+                continue
+            # An indexed value may be gone: rescan the page to decide.
+            result = self.column.scan_page(
+                page, self.lo, self.hi, access_kind="random", lane=lane
+            )
+            if result.empty:
+                self._bits[page] = False
+
+    def indexed_pages(self) -> int:
+        """Number of set bits."""
+        return int(self._bits.sum())

@@ -1,0 +1,43 @@
+"""The no-index baseline: answer every query with a full column scan.
+
+Figures 4 and 5 plot this as the reference line ("the response time when
+only full scans of the whole column are used to answer the queries").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.scan import batch_scan
+from ..core.stats import QueryStats
+from ..storage.column import PhysicalColumn
+from ..vm.cost import MAIN_LANE
+
+
+class FullScanBaseline:
+    """Answers range queries by scanning every page of the column."""
+
+    kind = "full_scan"
+
+    def __init__(self, column: PhysicalColumn) -> None:
+        self.column = column
+
+    def query(
+        self, lo: int, hi: int, lane: str = MAIN_LANE
+    ) -> tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Scan the whole column and filter against ``[lo, hi]``."""
+        cost = self.column.mapper.cost
+        all_pages = np.arange(self.column.num_pages, dtype=np.int64)
+        with cost.region() as region:
+            result = batch_scan(
+                self.column, all_pages, lo, hi, access_kind="seq", lane=lane
+            )
+        stats = QueryStats(
+            lo=lo,
+            hi=hi,
+            sim_ns=region.lane_ns(lane),
+            pages_scanned=result.pages_scanned,
+            views_used=1,
+            result_rows=int(result.rowids.size),
+        )
+        return result.rowids, result.values, stats

@@ -1,0 +1,94 @@
+"""Common protocol of the Section 3.1 partial-index variants.
+
+The paper's micro-benchmark compares a *virtual* partial view against
+three ways to index the same set of qualifying pages *explicitly*: zone
+maps, a page bitmap and a vector of page addresses.  All variants share
+the same lifecycle:
+
+* ``build()`` — scan the column once and index every page holding at
+  least one value in the indexed range ``[lo, hi]``;
+* ``apply_updates(batch)`` — keep the index consistent after updates
+  that were already written to the physical column;
+* ``query(qlo, qhi)`` — answer a range query whose predicate lies inside
+  the indexed range, returning (rowids, values).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.scan import batch_scan
+from ..storage.column import PhysicalColumn
+from ..storage.updates import UpdateBatch
+from ..vm.cost import MAIN_LANE
+
+
+class PartialIndexBase(ABC):
+    """Shared lifecycle of all partial-index variants."""
+
+    #: Short identifier used in benchmark output.
+    kind: str = "abstract"
+
+    def __init__(self, column: PhysicalColumn, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError(f"inverted index range [{lo}, {hi}]")
+        self.column = column
+        self.lo = lo
+        self.hi = hi
+        self.built = False
+
+    @property
+    def cost(self):  # noqa: ANN201 - convenience accessor
+        """The column's shared cost model."""
+        return self.column.mapper.cost
+
+    def build(self, lane: str = MAIN_LANE) -> None:
+        """Scan the column once and index the qualifying pages."""
+        all_pages = np.arange(self.column.num_pages, dtype=np.int64)
+        result = batch_scan(
+            self.column, all_pages, self.lo, self.hi, access_kind="seq", lane=lane
+        )
+        self._build(result.qualifying_fpages, lane)
+        self.built = True
+
+    def query(
+        self, qlo: int, qhi: int, lane: str = MAIN_LANE
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Answer a range query via the index.
+
+        The predicate must lie inside the indexed range — the index only
+        knows about pages holding values in ``[lo, hi]``.
+        """
+        if not self.built:
+            raise RuntimeError("index not built yet")
+        if qlo < self.lo or qhi > self.hi:
+            raise ValueError(
+                f"query [{qlo}, {qhi}] outside indexed range [{self.lo}, {self.hi}]"
+            )
+        return self._query(qlo, qhi, lane)
+
+    @abstractmethod
+    def _build(self, qualifying_fpages: np.ndarray, lane: str) -> None:
+        """Materialize the index over the qualifying pages."""
+
+    @abstractmethod
+    def _query(
+        self, qlo: int, qhi: int, lane: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Variant-specific query answering."""
+
+    @abstractmethod
+    def apply_updates(self, batch: UpdateBatch, lane: str = MAIN_LANE) -> None:
+        """Realign the index after updates to the physical column."""
+
+    @abstractmethod
+    def indexed_pages(self) -> int:
+        """Number of pages the index currently points to."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(range=[{self.lo}, {self.hi}], "
+            f"pages={self.indexed_pages() if self.built else '?'})"
+        )

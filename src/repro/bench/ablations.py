@@ -1,0 +1,305 @@
+"""Ablation experiments beyond the paper's figures.
+
+The paper exposes several design knobs but evaluates them only at one
+setting (d = r = 0; mode per figure; fixed view limits).  These
+ablations sweep them:
+
+* :func:`run_tolerance_ablation` — discard/replacement tolerances
+  ``d``/``r`` (Section 2.2): higher tolerances discard more candidates,
+  trading view-creation work against view quality.
+* :func:`run_max_views_ablation` — the view limit (Section 2.2): too few
+  views leave full scans; more views keep improving until the workload
+  is covered.
+* :func:`run_routing_ablation` — single- vs multi-view mode on the same
+  fixed-selectivity workload (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.adaptive import AdaptiveStorageLayer
+from ..core.config import AdaptiveConfig, RoutingMode
+from ..core.stats import ViewEvent
+from ..workloads.distributions import sine
+from ..workloads.queries import fixed_selectivity, selectivity_sweep
+from .harness import fresh_column, run_adaptive_sequence, scaled_pages
+
+
+@dataclass
+class AblationPoint:
+    """Aggregate outcome of one parameter setting."""
+
+    label: str
+    accumulated_s: float
+    views_created: int
+    candidates_discarded: int
+    candidates_replaced: int
+    total_pages_scanned: int
+
+
+@dataclass
+class AblationResult:
+    """A parameter sweep's outcomes, in sweep order."""
+
+    name: str
+    points: list[AblationPoint] = field(default_factory=list)
+
+
+def _run_one(
+    label: str, values, queries, config: AdaptiveConfig
+) -> AblationPoint:
+    column = fresh_column(values, name=f"ablation_{label}")
+    layer = AdaptiveStorageLayer(column, config)
+    run = run_adaptive_sequence(layer, queries)
+    layer.shutdown()
+    events = [q.view_event for q in run.stats.queries]
+    return AblationPoint(
+        label=label,
+        accumulated_s=run.stats.accumulated_seconds,
+        views_created=layer.view_index.num_partials,
+        candidates_discarded=sum(
+            1
+            for e in events
+            if e in (ViewEvent.DISCARDED_SUBSET, ViewEvent.DISCARDED_FULL)
+        ),
+        candidates_replaced=sum(1 for e in events if e is ViewEvent.REPLACED),
+        total_pages_scanned=run.stats.total_pages_scanned,
+    )
+
+
+def run_tolerance_ablation(
+    tolerances: tuple[int, ...] = (0, 2, 8, 32, 128),
+    num_pages: int | None = None,
+    num_queries: int = 150,
+    seed: int = 21,
+) -> AblationResult:
+    """Sweep the discard/replacement tolerances together (d = r)."""
+    num_pages = num_pages or scaled_pages()
+    values = sine(num_pages, seed=seed)
+    queries = selectivity_sweep(num_queries=num_queries, seed=seed)
+    result = AblationResult(name="tolerance")
+    for tol in tolerances:
+        config = AdaptiveConfig(
+            discard_tolerance=tol, replacement_tolerance=tol, max_views=100
+        )
+        result.points.append(_run_one(f"d=r={tol}", values, queries, config))
+    return result
+
+
+def run_max_views_ablation(
+    limits: tuple[int, ...] = (0, 5, 20, 100, 400),
+    num_pages: int | None = None,
+    num_queries: int = 150,
+    seed: int = 22,
+) -> AblationResult:
+    """Sweep the maximum number of partial views."""
+    num_pages = num_pages or scaled_pages()
+    values = sine(num_pages, seed=seed)
+    queries = selectivity_sweep(num_queries=num_queries, seed=seed)
+    result = AblationResult(name="max_views")
+    for limit in limits:
+        config = AdaptiveConfig(max_views=limit)
+        result.points.append(_run_one(f"max={limit}", values, queries, config))
+    return result
+
+
+def run_routing_ablation(
+    num_pages: int | None = None,
+    num_queries: int = 150,
+    selectivity: float = 0.01,
+    seed: int = 23,
+) -> AblationResult:
+    """Single- vs multi-view routing on a fixed-selectivity workload."""
+    num_pages = num_pages or scaled_pages()
+    values = sine(num_pages, seed=seed)
+    queries = fixed_selectivity(selectivity, num_queries=num_queries, seed=seed)
+    result = AblationResult(name="routing_mode")
+    for mode in (RoutingMode.SINGLE, RoutingMode.MULTI, RoutingMode.MULTI_COST):
+        config = AdaptiveConfig(max_views=200, mode=mode)
+        result.points.append(_run_one(mode.value, values, queries, config))
+    return result
+
+
+def run_advisor_ablation(
+    num_pages: int | None = None,
+    num_queries: int = 120,
+    seed: int = 26,
+) -> AblationResult:
+    """Offline view advisor vs online adaptation (extension).
+
+    Replays the same hotspot-heavy workload three ways: full scans only,
+    the adaptive layer, and a set of statically advised views built
+    upfront from the (known) workload.  The advisor has perfect
+    knowledge, so it bounds what adaptation can achieve; adaptation pays
+    its learning cost but needs no foresight.
+    """
+    import numpy as np
+
+    from ..core.advisor import ViewAdvisor
+    from ..core.scan import batch_scan
+    from ..baselines.full_scan import FullScanBaseline
+
+    num_pages = num_pages or scaled_pages()
+    values = sine(num_pages, seed=seed)
+    rng = np.random.default_rng(seed)
+    # three hotspots queried over and over (a dashboard), plus noise
+    hotspots = [(5_000_000, 6_000_000), (40_000_000, 41_500_000),
+                (80_000_000, 80_800_000)]
+    workload: list[tuple[int, int]] = []
+    for _ in range(num_queries):
+        if rng.random() < 0.8:
+            workload.append(hotspots[int(rng.integers(0, len(hotspots)))])
+        else:
+            lo = int(rng.integers(0, 95_000_000))
+            workload.append((lo, lo + 1_000_000))
+
+    result = AblationResult(name="advisor")
+
+    # 1. full scans only
+    column = fresh_column(values, name="advisor_full")
+    baseline = FullScanBaseline(column)
+    with column.mapper.cost.region() as region:
+        for lo, hi in workload:
+            baseline.query(lo, hi)
+    result.points.append(
+        AblationPoint(
+            label="full_scan",
+            accumulated_s=region.lane_ns("main") / 1e9,
+            views_created=0,
+            candidates_discarded=0,
+            candidates_replaced=0,
+            total_pages_scanned=region.counter_deltas.get("pages_scanned", 0),
+        )
+    )
+
+    # 2. online adaptation
+    from ..workloads.queries import QuerySequence, RangeQuery
+
+    queries = QuerySequence([RangeQuery(lo, hi) for lo, hi in workload])
+    config = AdaptiveConfig(max_views=20)
+    result.points.append(
+        _run_one("adaptive", values, queries, config)
+    )
+
+    # 3. perfect-knowledge static views (build cost included)
+    column = fresh_column(values, name="advisor_static")
+    with column.mapper.cost.region() as region:
+        advisor = ViewAdvisor(column)
+        views = advisor.materialize(advisor.recommend(workload, max_views=20))
+        for lo, hi in workload:
+            view = next(
+                (v for v in views if v.lo <= lo and v.hi >= hi), None
+            )
+            if view is not None:
+                batch_scan(column, view.mapped_fpages(), lo, hi)
+            else:
+                batch_scan(
+                    column,
+                    np.arange(column.num_pages, dtype=np.int64),
+                    lo,
+                    hi,
+                )
+    result.points.append(
+        AblationPoint(
+            label="advised_static",
+            accumulated_s=region.lane_ns("main") / 1e9,
+            views_created=len(views),
+            candidates_discarded=0,
+            candidates_replaced=0,
+            total_pages_scanned=region.counter_deltas.get("pages_scanned", 0),
+        )
+    )
+    return result
+
+
+def run_autoflush_ablation(
+    thresholds: tuple[int, ...] = (1, 16, 256, 4096),
+    num_pages: int | None = None,
+    num_updates: int = 2_000,
+    seed: int = 25,
+) -> AblationResult:
+    """Maintenance-batching ablation (extension).
+
+    Section 2.4 supports "an adjustable batch of updates" because the
+    maps file is parsed once per batch.  This sweep interleaves updates
+    with periodic queries under different auto-flush thresholds: tiny
+    batches pay the parse cost over and over, large batches amortize it.
+    """
+    import numpy as np
+
+    from ..core.facade import AdaptiveDatabase
+
+    num_pages = num_pages or scaled_pages()
+    values = sine(num_pages, seed=seed)
+    result = AblationResult(name="autoflush")
+    rng_rows = np.random.default_rng(seed).integers(
+        0, values.size, num_updates
+    )
+    rng_values = np.random.default_rng(seed + 1).integers(
+        0, 100_000_000, num_updates
+    )
+
+    for threshold in thresholds:
+        db = AdaptiveDatabase(
+            AdaptiveConfig(max_views=20), auto_flush_threshold=threshold
+        )
+        db.create_table("t", {"x": values})
+        # warm a few views so maintenance has something to align
+        for lo in range(0, 90_000_000, 30_000_000):
+            db.query("t", "x", lo, lo + 1_000_000)
+        with db.cost.region() as region:
+            for row, value in zip(rng_rows.tolist(), rng_values.tolist()):
+                db.update("t", "x", int(row), int(value))
+            db.flush_updates("t", "x")
+        layer = db.layer("t", "x")
+        result.points.append(
+            AblationPoint(
+                label=f"batch={threshold}",
+                accumulated_s=region.lane_ns("main") / 1e9,
+                views_created=layer.view_index.num_partials,
+                candidates_discarded=0,
+                candidates_replaced=0,
+                total_pages_scanned=region.counter_deltas.get(
+                    "pages_scanned", 0
+                ),
+            )
+        )
+        db.close()
+    return result
+
+
+def run_drift_ablation(
+    limits: tuple[int, ...] = (10, 50, 200),
+    num_pages: int | None = None,
+    num_queries: int = 150,
+    seed: int = 24,
+) -> AblationResult:
+    """Adaptivity under workload drift (extension).
+
+    A shifting-hotspot workload moves the queried value region over the
+    sequence.  Because view generation stops permanently once the limit
+    is reached (Section 2.2), a tight limit fills up on the first
+    hotspot and later hotspots fall back to full scans — a design
+    consequence this ablation quantifies.
+    """
+    from ..workloads.queries import shifting_hotspot
+
+    from ..core.config import EvictionPolicy
+
+    num_pages = num_pages or scaled_pages()
+    values = sine(num_pages, seed=seed)
+    queries = shifting_hotspot(
+        num_queries=num_queries, selectivity=0.01, num_phases=5, seed=seed
+    )
+    result = AblationResult(name="drift")
+    for limit in limits:
+        config = AdaptiveConfig(max_views=limit)
+        result.points.append(_run_one(f"max={limit}", values, queries, config))
+    # the extension: a tight limit with LRU eviction keeps adapting
+    tight = limits[0]
+    lru_config = AdaptiveConfig(max_views=tight, eviction=EvictionPolicy.LRU)
+    result.points.append(
+        _run_one(f"max={tight}+lru", values, queries, lru_config)
+    )
+    return result

@@ -1,0 +1,198 @@
+"""Closed-form cost predictions (simulator validation + paper scale).
+
+For the experiments whose work is a deterministic function of the page
+statistics — full scans, the Figure 3 variants, uniform view creation —
+the simulated times can be predicted analytically from the cost
+constants and binomial page-qualification probabilities.  This module
+derives those predictions; the tests assert the simulator matches them,
+and :func:`paper_scale_estimates` extrapolates to the paper's 1M-page
+column, giving absolute numbers comparable to the paper's own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage import layout
+from ..vm.constants import VALUES_PER_PAGE
+from ..vm.cost import CostParameters
+
+#: The paper's column size.
+PAPER_PAGES = 1_000_000
+
+
+def page_qualification_probability(
+    k: int, domain: int, per_page: int = VALUES_PER_PAGE
+) -> float:
+    """P(page holds ≥ 1 of ``per_page`` i.i.d. uniform values ≤ ``k``)."""
+    if not 0 <= k <= domain:
+        raise ValueError(f"k={k} outside the domain [0, {domain}]")
+    return 1.0 - (1.0 - k / domain) ** per_page
+
+
+def expected_runs(num_pages: int, p: float) -> float:
+    """Expected maximal runs of qualifying pages among ``num_pages``
+    i.i.d. Bernoulli(p) pages (one mmap call per run when coalescing)."""
+    if num_pages <= 0:
+        return 0.0
+    return p + (num_pages - 1) * p * (1.0 - p)
+
+
+def full_scan_ns(
+    params: CostParameters,
+    num_pages: int,
+    per_page: int = VALUES_PER_PAGE,
+    cost_factor: int = 1,
+) -> float:
+    """Simulated time of one sequential full-column scan."""
+    return num_pages * params.page_scan_ns(per_page * cost_factor, "seq")
+
+
+def fig3_query_ns(
+    params: CostParameters,
+    variant: str,
+    num_pages: int,
+    k: int,
+    domain: int = 100_000_000,
+    per_page: int = VALUES_PER_PAGE,
+    cost_factor: int = 1,
+) -> float:
+    """Predicted Figure 3 query time for one variant.
+
+    The index covers [0, k]; the query scans all indexed pages (expected
+    count ``p * num_pages``) plus the variant's page-discovery overhead.
+    """
+    p = page_qualification_probability(k, domain, per_page)
+    q_pages = p * num_pages
+    scan_values = per_page * cost_factor
+
+    if variant == "zone_map":
+        discovery = num_pages * (
+            params.strided_header_access_ns + params.page_header_read_ns
+        )
+        return discovery + q_pages * params.page_scan_ns(scan_values, "random")
+    if variant == "bitmap":
+        words = (num_pages + 63) // 64
+        discovery = words * params.bitvector_word_scan_ns
+        return discovery + q_pages * params.page_scan_ns(scan_values, "random")
+    if variant == "page_vector":
+        return q_pages * params.page_scan_ns(scan_values, "prefetched")
+    if variant == "virtual_view":
+        return q_pages * params.page_scan_ns(scan_values, "seq")
+    raise ValueError(f"unknown variant: {variant!r}")
+
+
+def uniform_creation_ns(
+    params: CostParameters,
+    num_pages: int,
+    k: int,
+    domain: int = 100_000_000,
+    per_page: int = VALUES_PER_PAGE,
+    coalesce: bool = True,
+    background: bool = False,
+) -> float:
+    """Predicted Figure 6 creation time on uniform data.
+
+    Creation = one sequential full scan (+ reservation) on the scanning
+    lane plus the mapping work: one mmap per run (coalesced) or per page,
+    plus per-page mapping and populate costs.  With the background
+    thread the two lanes overlap and the elapsed time is their maximum.
+    """
+    p = page_qualification_probability(k, domain, per_page)
+    q_pages = p * num_pages
+    calls = expected_runs(num_pages, p) if coalesce else q_pages
+
+    scan_lane = full_scan_ns(params, num_pages, per_page) + params.mmap_syscall_ns
+    map_work = (
+        calls * params.mmap_syscall_ns
+        + q_pages * params.mmap_per_page_ns
+        + q_pages * params.soft_fault_ns
+    )
+    if background:
+        queue = (calls + 1) * params.queue_op_ns
+        return max(scan_lane + calls * params.queue_op_ns, map_work + queue)
+    return scan_lane + map_work
+
+
+@dataclass(frozen=True)
+class PaperScaleEstimate:
+    """One paper-scale (1M pages) prediction."""
+
+    quantity: str
+    predicted_ms: float
+    paper_reference: str
+
+
+def paper_scale_estimates(
+    params: CostParameters | None = None,
+) -> list[PaperScaleEstimate]:
+    """Absolute predictions at the paper's 1M-page scale.
+
+    These are the numbers the calibration targets; comparing them with
+    the paper's reported measurements closes the loop between the cost
+    model and the original hardware.
+    """
+    params = params or CostParameters()
+    per_page_wide = layout.records_per_page(96)
+    estimates = [
+        PaperScaleEstimate(
+            quantity="full scan of the 3.9 GB column",
+            predicted_ms=full_scan_ns(params, PAPER_PAGES) / 1e6,
+            paper_reference="~234 ms (Table 1: 58.6 s / 250 queries)",
+        ),
+        PaperScaleEstimate(
+            quantity="250 full-scan queries (Table 1, row 1)",
+            predicted_ms=250 * full_scan_ns(params, PAPER_PAGES) / 1e6,
+            paper_reference="58.6-88.2 s",
+        ),
+        PaperScaleEstimate(
+            quantity="Fig. 3 virtual view query, k=12.5k (96 B records)",
+            predicted_ms=fig3_query_ns(
+                params, "virtual_view", PAPER_PAGES, 12_500,
+                per_page=per_page_wide, cost_factor=96 // 8,
+            )
+            / 1e6,
+            paper_reference="fastest variant at 0.52% selectivity",
+        ),
+        PaperScaleEstimate(
+            quantity="Fig. 3 zone map query, k=12.5k (96 B records)",
+            predicted_ms=fig3_query_ns(
+                params, "zone_map", PAPER_PAGES, 12_500,
+                per_page=per_page_wide, cost_factor=96 // 8,
+            )
+            / 1e6,
+            paper_reference="slowest variant (1M header inspections)",
+        ),
+        PaperScaleEstimate(
+            quantity="Fig. 6a unoptimized creation (uniform, v[0,100k])",
+            predicted_ms=uniform_creation_ns(
+                params, PAPER_PAGES, 100_000, coalesce=False
+            )
+            / 1e6,
+            paper_reference="1.6x slower than fully optimized",
+        ),
+        PaperScaleEstimate(
+            quantity="Fig. 6a fully optimized creation",
+            predicted_ms=uniform_creation_ns(
+                params, PAPER_PAGES, 100_000, coalesce=True, background=True
+            )
+            / 1e6,
+            paper_reference="baseline / 1.6",
+        ),
+    ]
+    return estimates
+
+
+def render_paper_scale(params: CostParameters | None = None) -> str:
+    """Render the paper-scale predictions as a table."""
+    from .reporting import format_table
+
+    rows = [
+        [e.quantity, f"{e.predicted_ms:,.1f}", e.paper_reference]
+        for e in paper_scale_estimates(params)
+    ]
+    return format_table(
+        ["quantity", "predicted [ms]", "paper reference"],
+        rows,
+        title="Analytic paper-scale predictions (1M pages, calibrated cost model)",
+    )

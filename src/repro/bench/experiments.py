@@ -1,0 +1,82 @@
+"""One entry point per paper experiment (and the ablations).
+
+This module is the benchmark harness's index: every table and figure of
+the paper's evaluation maps to one ``run_*`` function returning a
+structured result, and :func:`run_all` executes the full suite (used by
+the ``examples/reproduce_paper.py`` driver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ablations import (
+    AblationResult,
+    run_max_views_ablation,
+    run_routing_ablation,
+    run_tolerance_ablation,
+)
+from .fig2 import Fig2Result, run_fig2
+from .fig3 import Fig3Result, run_fig3
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, run_fig6
+from .fig7 import Fig7Result, run_fig7
+from .table1 import Table1Result, build_table1, run_table1
+
+__all__ = [
+    "AblationResult",
+    "build_table1",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "FullSuite",
+    "run_all",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_max_views_ablation",
+    "run_routing_ablation",
+    "run_table1",
+    "run_tolerance_ablation",
+    "Table1Result",
+]
+
+
+@dataclass
+class FullSuite:
+    """Results of the complete reproduction run."""
+
+    fig2: Fig2Result
+    fig3: Fig3Result
+    fig4: Fig4Result
+    fig5: Fig5Result
+    table1: Table1Result
+    fig6: Fig6Result
+    fig7: Fig7Result
+
+
+def run_all(num_pages: int | None = None, num_queries: int = 250) -> FullSuite:
+    """Run every paper experiment once and collect the results."""
+    fig2 = run_fig2(num_pages=num_pages)
+    fig3 = run_fig3(num_pages=num_pages)
+    fig4 = run_fig4(num_pages=num_pages, num_queries=num_queries)
+    fig5 = run_fig5(num_pages=num_pages, num_queries=num_queries)
+    table1 = build_table1(fig4, fig5)
+    fig6 = run_fig6(num_pages=num_pages)
+    fig7 = run_fig7(num_pages=num_pages)
+    return FullSuite(
+        fig2=fig2,
+        fig3=fig3,
+        fig4=fig4,
+        fig5=fig5,
+        table1=table1,
+        fig6=fig6,
+        fig7=fig7,
+    )

@@ -1,0 +1,85 @@
+"""JSON export of experiment results.
+
+Every experiment result is a tree of dataclasses; this module converts
+them (including enums, numpy scalars/arrays and nested containers) into
+plain JSON so external tooling can plot the figures.  ``export_suite``
+writes one file per experiment plus a manifest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+from .experiments import FullSuite
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert a result object into JSON-compatible data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {}
+        for field in dataclasses.fields(obj):
+            if field.name.startswith("_"):
+                continue
+            out[field.name] = to_jsonable(getattr(obj, field.name))
+        return out
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    # objects with a dict-like surface (e.g. SequenceStats wrappers)
+    if hasattr(obj, "__dict__"):
+        return {
+            key: to_jsonable(value)
+            for key, value in vars(obj).items()
+            if not key.startswith("_")
+        }
+    raise TypeError(f"cannot export {type(obj).__name__} to JSON")
+
+
+def dump_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
+    """Write one experiment result as JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(result), indent=2) + "\n")
+    return path
+
+
+def export_suite(
+    suite: FullSuite, directory: str | pathlib.Path
+) -> dict[str, pathlib.Path]:
+    """Write every experiment of a full run plus a manifest.
+
+    Returns the mapping from experiment name to written file.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: dict[str, pathlib.Path] = {}
+    for name in ("fig2", "fig3", "fig4", "fig5", "table1", "fig6", "fig7"):
+        written[name] = dump_result(
+            getattr(suite, name), directory / f"{name}.json"
+        )
+    manifest = {
+        "experiments": {name: path.name for name, path in written.items()},
+        "source": "repro — Adaptive Storage Views in Virtual Memory "
+        "(CIDR 2023 reproduction)",
+    }
+    manifest_path = directory / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    written["manifest"] = manifest_path
+    return written

@@ -1,0 +1,131 @@
+"""Figure 3 — query performance of explicit vs virtual partial views.
+
+Setup (Section 3.1, scaled): a column of uniform random 8 B integers in
+[0, 100M].  For each index selectivity ``k`` a single partial view over
+``[0, k]`` is created per variant (zone map, bitmap, vector of page
+addresses, virtual view); 10,000 uniformly selected entries are updated
+to scatter the indexed pages; then one query selecting ``[0, k/2]`` is
+answered and its simulated time reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import VARIANTS
+from ..storage import layout
+from ..vm.cost import MAIN_LANE
+from ..workloads.distributions import uniform
+from .harness import (
+    PAPER_COLUMN_PAGES,
+    fresh_column,
+    make_update_batch,
+    scaled_pages,
+)
+from .paper import PAPER_FIG3_KS
+
+#: Value domain of the Figure 3 column.
+FIG3_DOMAIN = (0, 100_000_000)
+
+#: Updates applied at paper scale before querying.
+PAPER_FIG3_UPDATES = 10_000
+
+
+@dataclass
+class Fig3Point:
+    """One (k, variant) measurement."""
+
+    k: int
+    variant: str
+    indexed_pages: int
+    query_ms: float
+    result_rows: int
+
+
+@dataclass
+class Fig3Result:
+    """All Figure 3 measurements."""
+
+    num_pages: int
+    num_updates: int
+    points: list[Fig3Point] = field(default_factory=list)
+
+    def by_k(self, k: int) -> dict[str, Fig3Point]:
+        """Measurements of one k, keyed by variant."""
+        return {p.variant: p for p in self.points if p.k == k}
+
+    @property
+    def ks(self) -> list[int]:
+        """Distinct selectivity levels, ascending."""
+        return sorted({p.k for p in self.points})
+
+
+def run_fig3(
+    num_pages: int | None = None,
+    ks: list[int] | None = None,
+    num_updates: int | None = None,
+    seed: int = 7,
+    verify: bool = True,
+    record_bytes: int = 8,
+) -> Fig3Result:
+    """Run the Figure 3 micro-benchmark across all variants.
+
+    ``record_bytes=96`` reproduces the paper's stated page fractions
+    (~42 records per page, 0.52 % of pages indexed at k = 12,500); the
+    default of 8 keeps the paper's described 8 B-value layout.
+    """
+    num_pages = num_pages or scaled_pages()
+    ks = ks or PAPER_FIG3_KS
+    if num_updates is None:
+        num_updates = max(
+            100, round(PAPER_FIG3_UPDATES * num_pages / PAPER_COLUMN_PAGES)
+        )
+    if record_bytes == 8:
+        values = uniform(num_pages, *FIG3_DOMAIN, seed=seed)
+    else:
+        per_page = layout.records_per_page(record_bytes)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(
+            FIG3_DOMAIN[0], FIG3_DOMAIN[1], endpoint=True, size=num_pages * per_page
+        )
+    result = Fig3Result(num_pages=num_pages, num_updates=num_updates)
+
+    for k in ks:
+        for variant_cls in VARIANTS.values():
+            column = fresh_column(values, name="fig3", record_bytes=record_bytes)
+            index = variant_cls(column, 0, k)
+            index.build()
+            batch = make_update_batch(
+                column, num_updates, *FIG3_DOMAIN, seed=seed + 1
+            )
+            index.apply_updates(batch)
+
+            cost = column.mapper.cost
+            with cost.region() as region:
+                rowids, row_values = index.query(0, k // 2)
+            if verify:
+                _verify(column, rowids, 0, k // 2)
+            result.points.append(
+                Fig3Point(
+                    k=k,
+                    variant=variant_cls.kind,
+                    indexed_pages=index.indexed_pages(),
+                    query_ms=region.lane_ns(MAIN_LANE) / 1e6,
+                    result_rows=int(rowids.size),
+                )
+            )
+    return result
+
+
+def _verify(column, rowids: np.ndarray, lo: int, hi: int) -> None:
+    """Assert a query result against a ground-truth recomputation."""
+    all_values = column.values()
+    expected = np.nonzero((all_values >= lo) & (all_values <= hi))[0]
+    got = np.sort(rowids)
+    if not np.array_equal(got, expected):
+        raise AssertionError(
+            f"query [{lo}, {hi}] returned {got.size} rows, expected "
+            f"{expected.size}"
+        )

@@ -1,0 +1,98 @@
+"""Figure 4 — adaptive query processing, single-view mode.
+
+Setup (Section 3.2, scaled): a single-column table per clustered
+distribution (sine, linear, sparse); up to 100 adaptively created views;
+250 shuffled range queries whose widths step from 50M down to 5000 over
+the [0, 100M] value domain.  Reported per query: simulated response time
+and scanned physical pages, against a full-scans-only baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.adaptive import AdaptiveStorageLayer
+from ..core.config import AdaptiveConfig, RoutingMode
+from ..workloads.distributions import generate
+from ..workloads.queries import selectivity_sweep
+from .harness import (
+    SequenceRun,
+    fresh_column,
+    phase_means,
+    run_adaptive_sequence,
+    run_full_scan_sequence,
+    scaled_pages,
+    verify_runs_agree,
+)
+
+#: The distributions Figure 4 evaluates (4a, 4b, 4c).
+FIG4_DISTRIBUTIONS = ("sine", "linear", "sparse")
+
+
+@dataclass
+class Fig4Series:
+    """Both engines' per-query series for one distribution."""
+
+    distribution: str
+    adaptive: SequenceRun
+    full_scan: SequenceRun
+    #: Mean simulated ms per phase (5 equal slices of the sequence).
+    adaptive_phase_ms: list[float] = field(default_factory=list)
+    full_phase_ms: list[float] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Accumulated full-scan time over accumulated adaptive time."""
+        adaptive = self.adaptive.accumulated_seconds
+        return self.full_scan.accumulated_seconds / adaptive if adaptive else 0.0
+
+    @property
+    def views_created(self) -> int:
+        """Partial views existing after the sequence."""
+        if not self.adaptive.stats.queries:
+            return 0
+        return self.adaptive.stats.queries[-1].partial_views_after
+
+
+@dataclass
+class Fig4Result:
+    """All Figure 4 series keyed by distribution."""
+
+    num_pages: int
+    num_queries: int
+    series: dict[str, Fig4Series] = field(default_factory=dict)
+
+
+def run_fig4(
+    distributions: tuple[str, ...] = FIG4_DISTRIBUTIONS,
+    num_pages: int | None = None,
+    num_queries: int = 250,
+    max_views: int = 100,
+    seed: int = 3,
+) -> Fig4Result:
+    """Run the single-view adaptive experiment on each distribution."""
+    num_pages = num_pages or scaled_pages()
+    queries = selectivity_sweep(num_queries=num_queries, seed=seed)
+    result = Fig4Result(num_pages=num_pages, num_queries=num_queries)
+
+    for name in distributions:
+        values = generate(name, num_pages, seed=seed)
+        config = AdaptiveConfig(max_views=max_views, mode=RoutingMode.SINGLE)
+
+        adaptive_column = fresh_column(values, name=f"fig4_{name}")
+        layer = AdaptiveStorageLayer(adaptive_column, config)
+        adaptive_run = run_adaptive_sequence(layer, queries)
+        layer.shutdown()
+
+        full_column = fresh_column(values, name=f"fig4_{name}_full")
+        full_run = run_full_scan_sequence(full_column, queries)
+        verify_runs_agree(adaptive_run, full_run)
+
+        result.series[name] = Fig4Series(
+            distribution=name,
+            adaptive=adaptive_run,
+            full_scan=full_run,
+            adaptive_phase_ms=phase_means(adaptive_run.stats.queries),
+            full_phase_ms=phase_means(full_run.stats.queries),
+        )
+    return result

@@ -1,0 +1,99 @@
+"""Figure 5 — adaptive query processing, multi-view mode.
+
+Setup (Section 3.2, scaled): the sine distribution; queries of fixed
+selectivity (1 % with up to 200 views, 10 % with up to 20 views).
+Reported per query: simulated response time and the number of views
+used, against the full-scans-only baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.adaptive import AdaptiveStorageLayer
+from ..core.config import AdaptiveConfig, RoutingMode
+from ..workloads.distributions import sine
+from ..workloads.queries import fixed_selectivity
+from .harness import (
+    SequenceRun,
+    fresh_column,
+    phase_means,
+    run_adaptive_sequence,
+    run_full_scan_sequence,
+    scaled_pages,
+    verify_runs_agree,
+)
+
+#: The two Figure 5 configurations: (label, selectivity, max views).
+FIG5_CASES = (("1pct", 0.01, 200), ("10pct", 0.10, 20))
+
+
+@dataclass
+class Fig5Series:
+    """Both engines' per-query series for one selectivity."""
+
+    label: str
+    selectivity: float
+    max_views: int
+    adaptive: SequenceRun
+    full_scan: SequenceRun
+    adaptive_phase_ms: list[float] = field(default_factory=list)
+    full_phase_ms: list[float] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Accumulated full-scan time over accumulated adaptive time."""
+        adaptive = self.adaptive.accumulated_seconds
+        return self.full_scan.accumulated_seconds / adaptive if adaptive else 0.0
+
+    @property
+    def max_views_used(self) -> int:
+        """Maximum number of views any single query used."""
+        return max((q.views_used for q in self.adaptive.stats.queries), default=0)
+
+
+@dataclass
+class Fig5Result:
+    """Both Figure 5 series keyed by label."""
+
+    num_pages: int
+    num_queries: int
+    series: dict[str, Fig5Series] = field(default_factory=dict)
+
+
+def run_fig5(
+    cases: tuple[tuple[str, float, int], ...] = FIG5_CASES,
+    num_pages: int | None = None,
+    num_queries: int = 250,
+    seed: int = 4,
+) -> Fig5Result:
+    """Run the multi-view adaptive experiment for each selectivity."""
+    num_pages = num_pages or scaled_pages()
+    values = sine(num_pages, seed=seed)
+    result = Fig5Result(num_pages=num_pages, num_queries=num_queries)
+
+    for label, selectivity, max_views in cases:
+        queries = fixed_selectivity(
+            selectivity, num_queries=num_queries, seed=seed
+        )
+        config = AdaptiveConfig(max_views=max_views, mode=RoutingMode.MULTI)
+
+        adaptive_column = fresh_column(values, name=f"fig5_{label}")
+        layer = AdaptiveStorageLayer(adaptive_column, config)
+        adaptive_run = run_adaptive_sequence(layer, queries)
+        layer.shutdown()
+
+        full_column = fresh_column(values, name=f"fig5_{label}_full")
+        full_run = run_full_scan_sequence(full_column, queries)
+        verify_runs_agree(adaptive_run, full_run)
+
+        result.series[label] = Fig5Series(
+            label=label,
+            selectivity=selectivity,
+            max_views=max_views,
+            adaptive=adaptive_run,
+            full_scan=full_run,
+            adaptive_phase_ms=phase_means(adaptive_run.stats.queries),
+            full_phase_ms=phase_means(full_run.stats.queries),
+        )
+    return result

@@ -1,0 +1,117 @@
+"""Figure 6 — impact of the optimizations on view creation.
+
+Setup (Section 3.3, scaled): create a single partial view on a large
+column, with four configurations — no optimizations, coalescing only
+(consecutive qualifying pages per mmap call), background mapping thread
+only, and both.
+
+* Figure 6a: uniform distribution over [0, 100M]; view ``v[0, 100k]``
+  (≈40 % of the pages qualify at paper scale).
+* Figure 6b: sine distribution over the full value domain; the view
+  covers the lower half of the domain (≈52 % of the pages).
+
+The paper's combined speedup is 1.6x (uniform) to 1.7x (sine), with
+coalescing mattering more on clustered data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.creation import BackgroundMapper, create_partial_view
+from ..core.view import VirtualView
+from ..workloads.distributions import sine, uniform
+from .harness import fresh_column, scaled_pages
+
+#: Scaled stand-in for the paper's [0, 2^64 - 1] domain (we store signed
+#: 64-bit values; see DESIGN.md).
+WIDE_DOMAIN = (0, 2**62)
+
+#: The four creation configurations: label -> (coalesce, background).
+FIG6_VARIANTS = {
+    "none": (False, False),
+    "coalesce": (True, False),
+    "thread": (False, True),
+    "both": (True, True),
+}
+
+
+@dataclass
+class Fig6Point:
+    """One (case, variant) creation measurement."""
+
+    case: str
+    variant: str
+    elapsed_ms: float
+    scan_lane_ms: float
+    map_lane_ms: float
+    mmap_calls: int
+    pages: int
+
+
+@dataclass
+class Fig6Result:
+    """All Figure 6 measurements."""
+
+    num_pages: int
+    points: list[Fig6Point] = field(default_factory=list)
+
+    def by_case(self, case: str) -> dict[str, Fig6Point]:
+        """Measurements of one distribution, keyed by variant."""
+        return {p.variant: p for p in self.points if p.case == case}
+
+    def speedup(self, case: str) -> float:
+        """Unoptimized over fully-optimized creation time."""
+        points = self.by_case(case)
+        if "none" not in points or "both" not in points:
+            return 0.0
+        return points["none"].elapsed_ms / points["both"].elapsed_ms
+
+
+def _cases(num_pages: int, seed: int) -> dict[str, tuple[np.ndarray, int, int]]:
+    uniform_values = uniform(num_pages, 0, 100_000_000, seed=seed)
+    sine_values = sine(num_pages, *WIDE_DOMAIN, seed=seed)
+    return {
+        "uniform": (uniform_values, 0, 100_000),
+        "sine": (sine_values, 0, WIDE_DOMAIN[1] // 2),
+    }
+
+
+def run_fig6(num_pages: int | None = None, seed: int = 5) -> Fig6Result:
+    """Measure view creation under all four optimization settings."""
+    num_pages = num_pages or scaled_pages()
+    result = Fig6Result(num_pages=num_pages)
+
+    for case, (values, lo, hi) in _cases(num_pages, seed).items():
+        for variant, (coalesce, background) in FIG6_VARIANTS.items():
+            column = fresh_column(values, name=f"fig6_{case}")
+            full = VirtualView.full_view(column)
+            mapper_thread = None
+            if background:
+                mapper_thread = BackgroundMapper(column.mapper.cost)
+            try:
+                report = create_partial_view(
+                    column,
+                    [full],
+                    lo,
+                    hi,
+                    coalesce=coalesce,
+                    background=mapper_thread,
+                )
+            finally:
+                if mapper_thread is not None:
+                    mapper_thread.stop()
+            result.points.append(
+                Fig6Point(
+                    case=case,
+                    variant=variant,
+                    elapsed_ms=report.elapsed_ns / 1e6,
+                    scan_lane_ms=report.main_ns / 1e6,
+                    map_lane_ms=report.mapper_ns / 1e6,
+                    mmap_calls=report.mmap_calls,
+                    pages=report.pages,
+                )
+            )
+    return result

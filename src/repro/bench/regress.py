@@ -1,0 +1,126 @@
+"""Regression comparison between two exported result suites.
+
+Given two directories produced by :func:`repro.bench.export.export_suite`
+(e.g. before and after a code change), extract the key metrics of every
+experiment, compare them, and report which moved by more than a
+tolerance.  Intended for CI-style guardrails on the reproduction's
+shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (1.0 = unchanged)."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def regressed(self, tolerance: float) -> bool:
+        """Whether the metric moved by more than ``tolerance``
+        (relative, either direction)."""
+        return abs(self.ratio - 1.0) > tolerance
+
+
+@dataclass
+class RegressionReport:
+    """All compared metrics plus the regression verdict."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    tolerance: float = 0.05
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        """Metrics outside the tolerance band."""
+        return [d for d in self.deltas if d.regressed(self.tolerance)]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Readable summary, regressions first."""
+        lines = [
+            f"compared {len(self.deltas)} metrics "
+            f"(tolerance ±{self.tolerance:.0%}): "
+            + ("OK" if self.ok else f"{len(self.regressions)} regressed")
+        ]
+        for delta in sorted(
+            self.deltas, key=lambda d: abs(d.ratio - 1.0), reverse=True
+        ):
+            marker = "!!" if delta.regressed(self.tolerance) else "  "
+            lines.append(
+                f" {marker} {delta.name}: {delta.baseline:.6g} -> "
+                f"{delta.current:.6g} ({delta.ratio:.3f}x)"
+            )
+        return "\n".join(lines)
+
+
+def _load(directory: str | pathlib.Path, name: str) -> dict:
+    return json.loads((pathlib.Path(directory) / f"{name}.json").read_text())
+
+
+def extract_metrics(directory: str | pathlib.Path) -> dict[str, float]:
+    """Pull the headline metrics out of one exported suite."""
+    metrics: dict[str, float] = {}
+
+    fig3 = _load(directory, "fig3")
+    for point in fig3["points"]:
+        metrics[f"fig3.k{point['k']}.{point['variant']}_ms"] = point["query_ms"]
+
+    fig4 = _load(directory, "fig4")
+    for name, series in fig4["series"].items():
+        adaptive = sum(
+            q["sim_ns"] for q in series["adaptive"]["stats"]["queries"]
+        )
+        full = sum(
+            q["sim_ns"] for q in series["full_scan"]["stats"]["queries"]
+        )
+        metrics[f"fig4.{name}.adaptive_s"] = adaptive / 1e9
+        metrics[f"fig4.{name}.speedup"] = full / adaptive if adaptive else 0.0
+
+    fig6 = _load(directory, "fig6")
+    for point in fig6["points"]:
+        metrics[f"fig6.{point['case']}.{point['variant']}_ms"] = point[
+            "elapsed_ms"
+        ]
+
+    fig7 = _load(directory, "fig7")
+    for point in fig7["points"]:
+        key = f"fig7.{point['case']}.batch{point['batch_size']}"
+        metrics[f"{key}.total_ms"] = point["parse_ms"] + point["update_ms"]
+        metrics[f"{key}.rebuild_ms"] = point["rebuild_ms"]
+
+    return metrics
+
+
+def compare_suites(
+    baseline_dir: str | pathlib.Path,
+    current_dir: str | pathlib.Path,
+    tolerance: float = 0.05,
+) -> RegressionReport:
+    """Compare two exported suites metric by metric."""
+    baseline = extract_metrics(baseline_dir)
+    current = extract_metrics(current_dir)
+    report = RegressionReport(tolerance=tolerance)
+    for name in sorted(set(baseline) & set(current)):
+        report.deltas.append(
+            MetricDelta(
+                name=name, baseline=baseline[name], current=current[name]
+            )
+        )
+    return report

@@ -1,0 +1,329 @@
+"""Plain-text renderers for every experiment result.
+
+One ``render_*`` function per paper artifact, shared by the pytest
+benchmarks, the command-line interface (``python -m repro``) and the
+``examples/reproduce_paper.py`` driver, so every surface prints the same
+paper-shaped report.
+"""
+
+from __future__ import annotations
+
+from .ablations import AblationResult
+from .fig2 import Fig2Result
+from .fig3 import Fig3Result
+from .fig4 import Fig4Result
+from .fig5 import Fig5Result
+from .fig6 import Fig6Result
+from .fig7 import Fig7Result
+from .paper import PAPER_BEST_FACTOR, PAPER_FIG5_MAX_VIEWS, PAPER_FIG6_SPEEDUP
+from .reporting import format_phases, format_table, sparkline
+from .table1 import Table1Result
+
+#: Variant order used by the Figure 3 report.
+FIG3_VARIANTS = ["zone_map", "bitmap", "page_vector", "virtual_view"]
+
+
+def render_fig2(result: Fig2Result) -> str:
+    """Figure 2 — distribution profiles plus level sparklines."""
+    rows = [
+        [
+            name,
+            profile.num_pages,
+            profile.detected_period,
+            f"{profile.zero_page_fraction:.2f}",
+            f"{profile.page_level_correlation:+.3f}",
+        ]
+        for name, profile in result.profiles.items()
+    ]
+    lines = [
+        format_table(
+            ["distribution", "pages", "period", "zero pages", "page corr"],
+            rows,
+            title="Figure 2 — data distributions (per-page value levels)",
+        )
+    ]
+    for name, profile in result.profiles.items():
+        lines.append(f"{name:>8}: {sparkline(profile.level_samples)}")
+    lines.append(
+        "paper shape: sine cycles every 100 pages; sparse is 90% zero "
+        "pages; linear grows with the pageID."
+    )
+    return "\n".join(lines)
+
+
+def render_fig3(result: Fig3Result) -> str:
+    """Figure 3 — explicit vs virtual partial views."""
+    rows = []
+    for k in result.ks:
+        points = result.by_k(k)
+        rows.append(
+            [
+                k,
+                f"{points['bitmap'].indexed_pages / result.num_pages:.1%}",
+                *[f"{points[v].query_ms:.3f}" for v in FIG3_VARIANTS],
+            ]
+        )
+    return "\n".join(
+        [
+            format_table(
+                ["k", "pages idx", *[f"{v} [ms]" for v in FIG3_VARIANTS]],
+                rows,
+                title=(
+                    f"Figure 3 — explicit vs virtual partial views "
+                    f"(simulated ms, {result.num_pages} pages, "
+                    f"{result.num_updates} updates)"
+                ),
+            ),
+            "paper shape: zone map most expensive at every k; bitmap and",
+            "vector in between; the virtual partial view clearly wins.",
+        ]
+    )
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """Figure 4 — adaptive single-view mode."""
+    rows = [
+        [
+            name,
+            f"{series.full_scan.accumulated_seconds:.3f}",
+            f"{series.adaptive.accumulated_seconds:.3f}",
+            f"{series.speedup:.2f}x",
+            series.views_created,
+        ]
+        for name, series in result.series.items()
+    ]
+    lines = [
+        format_table(
+            ["distribution", "full scans [s]", "adaptive [s]", "speedup", "views"],
+            rows,
+            title=(
+                f"Figure 4 — adaptive single-view mode "
+                f"({result.num_pages} pages, {result.num_queries} queries, "
+                f"simulated seconds)"
+            ),
+        ),
+        "",
+        "per-query response time (simulated ms, phase means + sparkline):",
+    ]
+    for name, series in result.series.items():
+        lines.append(format_phases(f"  {name} adaptive", series.adaptive_phase_ms))
+        lines.append(format_phases(f"  {name} full-scan", series.full_phase_ms))
+        per_query = [q.sim_ms for q in series.adaptive.stats.queries]
+        pages = [float(q.pages_scanned) for q in series.adaptive.stats.queries]
+        lines.append(f"  {name:>7} time  {sparkline(per_query)}")
+        lines.append(f"  {name:>7} pages {sparkline(pages)}")
+    lines.append(
+        "paper shape: early queries cost about a full scan plus view-"
+        "creation overhead; later queries answer from partial views and "
+        "the scanned-pages curve collapses."
+    )
+    return "\n".join(lines)
+
+
+def render_fig5(result: Fig5Result) -> str:
+    """Figure 5 — adaptive multi-view mode."""
+    rows = [
+        [
+            label,
+            f"{series.selectivity:.0%}",
+            series.max_views,
+            f"{series.full_scan.accumulated_seconds:.3f}",
+            f"{series.adaptive.accumulated_seconds:.3f}",
+            f"{series.speedup:.2f}x",
+            series.max_views_used,
+            PAPER_FIG5_MAX_VIEWS.get(label, "-"),
+        ]
+        for label, series in result.series.items()
+    ]
+    lines = [
+        format_table(
+            [
+                "case",
+                "selectivity",
+                "view limit",
+                "full scans [s]",
+                "adaptive [s]",
+                "speedup",
+                "max views/query",
+                "paper max",
+            ],
+            rows,
+            title=(
+                f"Figure 5 — adaptive multi-view mode on sine data "
+                f"({result.num_pages} pages, {result.num_queries} queries)"
+            ),
+        ),
+        "",
+        "views used per query over the sequence:",
+    ]
+    for label, series in result.series.items():
+        used = [float(q.views_used) for q in series.adaptive.stats.queries]
+        lines.append(f"  {label:>5} views {sparkline(used)}")
+        lines.append(format_phases(f"  {label} adaptive", series.adaptive_phase_ms))
+    lines.append(
+        "paper shape: multiple overlapping views answer a query (up to 9 "
+        "at 1% selectivity, 6 at 10%); performance clearly beats full "
+        "scans."
+    )
+    return "\n".join(lines)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table 1 — accumulated response times with paper numbers."""
+    rows = [
+        [
+            row.experiment,
+            f"{row.full_scan_s:.3f}",
+            f"{row.adaptive_s:.3f}",
+            f"{row.factor:.2f}x",
+            f"{row.paper_full_scan_s:.1f}",
+            f"{row.paper_adaptive_s:.1f}",
+            f"{row.paper_factor:.2f}x",
+        ]
+        for row in result.rows
+    ]
+    return "\n".join(
+        [
+            format_table(
+                [
+                    "experiment",
+                    "full [s]",
+                    "adaptive [s]",
+                    "factor",
+                    "paper full [s]",
+                    "paper adaptive [s]",
+                    "paper factor",
+                ],
+                rows,
+                title=(
+                    "Table 1 — accumulated response time (simulated, scaled "
+                    "column) vs the paper (3.9 GB column)"
+                ),
+            ),
+            f"measured best factor: {result.best_factor:.2f}x "
+            f"(paper: up to {PAPER_BEST_FACTOR}x)",
+            "paper shape: adaptive view selection beats full scans in all "
+            "five columns.",
+        ]
+    )
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """Figure 6 — view-creation optimizations."""
+    rows = []
+    for case in ("uniform", "sine"):
+        for variant, point in result.by_case(case).items():
+            rows.append(
+                [
+                    case,
+                    variant,
+                    f"{point.elapsed_ms:.3f}",
+                    f"{point.scan_lane_ms:.3f}",
+                    f"{point.map_lane_ms:.3f}",
+                    point.mmap_calls,
+                    point.pages,
+                ]
+            )
+    return "\n".join(
+        [
+            format_table(
+                [
+                    "case",
+                    "variant",
+                    "elapsed [ms]",
+                    "scan lane [ms]",
+                    "map lane [ms]",
+                    "mmap calls",
+                    "pages",
+                ],
+                rows,
+                title=(
+                    f"Figure 6 — view creation optimizations "
+                    f"({result.num_pages}-page column, simulated ms)"
+                ),
+            ),
+            f"combined speedups: uniform {result.speedup('uniform'):.2f}x, "
+            f"sine {result.speedup('sine'):.2f}x "
+            f"(paper: {PAPER_FIG6_SPEEDUP['uniform']}x / "
+            f"{PAPER_FIG6_SPEEDUP['sine']}x)",
+            "paper shape: both optimizations help; coalescing pays off "
+            "more on clustered (sine) data; the background thread is "
+            "distribution-independent.",
+        ]
+    )
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """Figure 7 — update vs rebuild."""
+    rows = []
+    for case in ("uniform", "sine"):
+        for point in result.by_case(case):
+            winner = "update" if point.total_ms < point.rebuild_ms else "rebuild"
+            rows.append(
+                [
+                    case,
+                    point.batch_size,
+                    f"{point.parse_ms:.3f}",
+                    f"{point.update_ms:.3f}",
+                    f"{point.total_ms:.3f}",
+                    f"{point.rebuild_ms:.3f}",
+                    point.pages_added,
+                    point.pages_removed,
+                    point.maps_lines,
+                    winner,
+                ]
+            )
+    return "\n".join(
+        [
+            format_table(
+                [
+                    "case",
+                    "batch",
+                    "parse [ms]",
+                    "update [ms]",
+                    "total [ms]",
+                    "rebuild [ms]",
+                    "added",
+                    "removed",
+                    "maps lines",
+                    "winner",
+                ],
+                rows,
+                title=(
+                    f"Figure 7 — batch update of 5 partial views "
+                    f"({result.num_pages}-page column, simulated ms)"
+                ),
+            ),
+            "paper shape: incremental alignment beats rebuilding except "
+            "for the largest sine batch; parsing dominates small batches "
+            "and costs more under uniform data (more maps lines); page "
+            "removal is costlier than addition.",
+        ]
+    )
+
+
+def render_ablation(result: AblationResult, title: str | None = None) -> str:
+    """Any ablation sweep."""
+    rows = [
+        [
+            p.label,
+            f"{p.accumulated_s:.3f}",
+            p.views_created,
+            p.candidates_discarded,
+            p.candidates_replaced,
+            p.total_pages_scanned,
+        ]
+        for p in result.points
+    ]
+    return format_table(
+        [
+            "setting",
+            "accumulated [s]",
+            "views",
+            "discarded",
+            "replaced",
+            "pages scanned",
+        ],
+        rows,
+        title=title or f"Ablation — {result.name}",
+    )

@@ -1,0 +1,101 @@
+"""Table 1 — accumulated response time over all 250 queries.
+
+Aggregates the Figure 4 and Figure 5 runs into the paper's table: one
+column per experiment, rows "Full scans only" and "Adaptive view
+selection", plus the improvement factor (the paper reports up to 1.88x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .paper import PAPER_TABLE1
+
+
+@dataclass
+class Table1Row:
+    """One column of the paper's Table 1."""
+
+    experiment: str
+    full_scan_s: float
+    adaptive_s: float
+    paper_full_scan_s: float
+    paper_adaptive_s: float
+
+    @property
+    def factor(self) -> float:
+        """Measured improvement factor (full scans / adaptive)."""
+        return self.full_scan_s / self.adaptive_s if self.adaptive_s else 0.0
+
+    @property
+    def paper_factor(self) -> float:
+        """The paper's improvement factor for this experiment."""
+        if not self.paper_adaptive_s:
+            return 0.0
+        return self.paper_full_scan_s / self.paper_adaptive_s
+
+
+@dataclass
+class Table1Result:
+    """All Table 1 rows."""
+
+    rows: list[Table1Row] = field(default_factory=list)
+
+    @property
+    def best_factor(self) -> float:
+        """The largest measured improvement factor."""
+        return max((row.factor for row in self.rows), default=0.0)
+
+
+_FIG4_KEYS = {
+    "sine": "fig4a_sine_single",
+    "linear": "fig4b_linear_single",
+    "sparse": "fig4c_sparse_single",
+}
+_FIG5_KEYS = {
+    "1pct": "fig5a_sine_multi_1pct",
+    "10pct": "fig5b_sine_multi_10pct",
+}
+
+
+def build_table1(fig4: Fig4Result, fig5: Fig5Result) -> Table1Result:
+    """Assemble Table 1 from already-run Figure 4/5 results."""
+    result = Table1Result()
+    for dist, key in _FIG4_KEYS.items():
+        if dist not in fig4.series:
+            continue
+        series = fig4.series[dist]
+        result.rows.append(
+            Table1Row(
+                experiment=key,
+                full_scan_s=series.full_scan.accumulated_seconds,
+                adaptive_s=series.adaptive.accumulated_seconds,
+                paper_full_scan_s=PAPER_TABLE1[key]["full_scans"],
+                paper_adaptive_s=PAPER_TABLE1[key]["adaptive"],
+            )
+        )
+    for label, key in _FIG5_KEYS.items():
+        if label not in fig5.series:
+            continue
+        series = fig5.series[label]
+        result.rows.append(
+            Table1Row(
+                experiment=key,
+                full_scan_s=series.full_scan.accumulated_seconds,
+                adaptive_s=series.adaptive.accumulated_seconds,
+                paper_full_scan_s=PAPER_TABLE1[key]["full_scans"],
+                paper_adaptive_s=PAPER_TABLE1[key]["adaptive"],
+            )
+        )
+    return result
+
+
+def run_table1(
+    num_pages: int | None = None, num_queries: int = 250
+) -> Table1Result:
+    """Run Figures 4 and 5 and aggregate them into Table 1."""
+    fig4 = run_fig4(num_pages=num_pages, num_queries=num_queries)
+    fig5 = run_fig5(num_pages=num_pages, num_queries=num_queries)
+    return build_table1(fig4, fig5)

@@ -1,0 +1,213 @@
+"""Command-line interface: reproduce any paper experiment.
+
+Usage::
+
+    python -m repro fig4                    # one experiment
+    python -m repro all --pages 2048        # everything, custom scale
+    python -m repro table1 --queries 100
+    python -m repro ablations
+    python -m repro fig7 --out results.txt
+
+Each command runs the experiment and prints the same paper-shaped
+report the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import experiments
+from .bench import render
+from .bench.ablations import (
+    run_drift_ablation,
+    run_max_views_ablation,
+    run_routing_ablation,
+    run_tolerance_ablation,
+)
+from .bench.harness import scaled_pages
+
+
+def _run_fig2(args: argparse.Namespace) -> str:
+    return render.render_fig2(experiments.run_fig2(num_pages=args.pages))
+
+
+def _run_fig3(args: argparse.Namespace) -> str:
+    return render.render_fig3(experiments.run_fig3(num_pages=args.pages))
+
+
+def _run_fig4(args: argparse.Namespace) -> str:
+    return render.render_fig4(
+        experiments.run_fig4(num_pages=args.pages, num_queries=args.queries)
+    )
+
+
+def _run_fig5(args: argparse.Namespace) -> str:
+    return render.render_fig5(
+        experiments.run_fig5(num_pages=args.pages, num_queries=args.queries)
+    )
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    return render.render_table1(
+        experiments.run_table1(num_pages=args.pages, num_queries=args.queries)
+    )
+
+
+def _run_fig6(args: argparse.Namespace) -> str:
+    return render.render_fig6(experiments.run_fig6(num_pages=args.pages))
+
+
+def _run_fig7(args: argparse.Namespace) -> str:
+    return render.render_fig7(experiments.run_fig7(num_pages=args.pages))
+
+
+def _run_ablations(args: argparse.Namespace) -> str:
+    parts = [
+        render.render_ablation(
+            run_tolerance_ablation(num_pages=args.pages),
+            title="Ablation — discard/replacement tolerances d = r",
+        ),
+        render.render_ablation(
+            run_max_views_ablation(num_pages=args.pages),
+            title="Ablation — maximum number of partial views",
+        ),
+        render.render_ablation(
+            run_routing_ablation(num_pages=args.pages),
+            title="Ablation — routing modes (single / multi / multi_cost)",
+        ),
+        render.render_ablation(
+            run_drift_ablation(num_pages=args.pages),
+            title="Ablation — view limits under workload drift",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def _run_analytic(args: argparse.Namespace) -> str:
+    from .bench.analytic import render_paper_scale
+
+    return render_paper_scale()
+
+
+def _run_all(args: argparse.Namespace) -> str:
+    suite = experiments.run_all(num_pages=args.pages, num_queries=args.queries)
+    return "\n\n".join(
+        [
+            render.render_fig2(suite.fig2),
+            render.render_fig3(suite.fig3),
+            render.render_fig4(suite.fig4),
+            render.render_fig5(suite.fig5),
+            render.render_table1(suite.table1),
+            render.render_fig6(suite.fig6),
+            render.render_fig7(suite.fig7),
+        ]
+    )
+
+
+_COMMANDS = {
+    "fig2": (_run_fig2, "Figure 2 — data distributions"),
+    "fig3": (_run_fig3, "Figure 3 — explicit vs virtual views"),
+    "fig4": (_run_fig4, "Figure 4 — adaptive single-view mode"),
+    "fig5": (_run_fig5, "Figure 5 — adaptive multi-view mode"),
+    "table1": (_run_table1, "Table 1 — accumulated response times"),
+    "fig6": (_run_fig6, "Figure 6 — view creation optimizations"),
+    "fig7": (_run_fig7, "Figure 7 — update performance"),
+    "ablations": (_run_ablations, "tolerance / view-limit / routing / drift sweeps"),
+    "analytic": (_run_analytic, "closed-form paper-scale predictions"),
+    "all": (_run_all, "every figure and table"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce experiments from 'Towards Adaptive Storage Views "
+            "in Virtual Memory' (CIDR 2023)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--pages",
+            type=int,
+            default=None,
+            help=f"column size in pages (default: {scaled_pages()})",
+        )
+        sub.add_argument(
+            "--queries",
+            type=int,
+            default=250,
+            help="queries per sequence where applicable (default: 250)",
+        )
+        sub.add_argument(
+            "--out",
+            type=str,
+            default=None,
+            help="also write the report to this file",
+        )
+
+    export = subparsers.add_parser(
+        "export", help="run every experiment and export the results as JSON"
+    )
+    export.add_argument("directory", help="output directory for the JSON files")
+    export.add_argument("--pages", type=int, default=None)
+    export.add_argument("--queries", type=int, default=250)
+
+    regress = subparsers.add_parser(
+        "regress", help="compare two exported result directories"
+    )
+    regress.add_argument("baseline", help="baseline export directory")
+    regress.add_argument("current", help="current export directory")
+    regress.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative tolerance before a metric counts as regressed",
+    )
+    return parser
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    from .bench.export import export_suite
+
+    suite = experiments.run_all(num_pages=args.pages, num_queries=args.queries)
+    written = export_suite(suite, args.directory)
+    for name, path in sorted(written.items()):
+        print(f"  {name}: {path}")
+    return 0
+
+
+def _run_regress(args: argparse.Namespace) -> int:
+    from .bench.regress import compare_suites
+
+    report = compare_suites(args.baseline, args.current, args.tolerance)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "export":
+        return _run_export(args)
+    if args.command == "regress":
+        return _run_regress(args)
+    runner, _ = _COMMANDS[args.command]
+    started = time.time()
+    report = runner(args)
+    elapsed = time.time() - started
+    print(report)
+    print(f"\n[{args.command} finished in {elapsed:.1f} s wall time]")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

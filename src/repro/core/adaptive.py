@@ -1,0 +1,137 @@
+"""The adaptive storage layer (Listing 1 of the paper).
+
+:class:`AdaptiveStorageLayer` answers range queries on one column while
+creating and maintaining partial views *adaptively and transparently as a
+side-product of query processing*:
+
+1. route the query to the most fitting existing view(s);
+2. scan them (shared pages once), producing the query result;
+3. alongside, build a candidate view of the qualifying pages, extend its
+   covered range to ``[l'+1, u'-1]`` using the values observed on
+   non-qualifying pages;
+4. retain, discard or let the candidate replace an existing view
+   (Listing 1, lines 21–32);
+5. once the view limit is reached, stop generating candidates and answer
+   from the static view set.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.column import PhysicalColumn
+from ..storage.page import clamp_range
+from ..storage.updates import UpdateBatch
+from ..vm.cost import MAIN_LANE
+from .config import AdaptiveConfig
+from .creation import BackgroundMapper, materialize_pages
+from .maintenance import align_partial_views
+from .routing import scan_views
+from .stats import MaintenanceStats, QueryStats, ViewEvent
+from .view import VirtualView
+from .view_index import ViewIndex
+
+
+@dataclass
+class QueryResult:
+    """Result of one range query plus its measurements."""
+
+    #: Row ids of qualifying values.
+    rowids: np.ndarray
+    #: Qualifying values, aligned with :attr:`rowids`.
+    values: np.ndarray
+    #: Measurements collected while answering (Figure 4/5 quantities).
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return int(self.rowids.size)
+
+
+class AdaptiveStorageLayer:
+    """Adaptive virtual-view indexing fused into one column's storage."""
+
+    def __init__(
+        self, column: PhysicalColumn, config: AdaptiveConfig | None = None
+    ) -> None:
+        self.column = column
+        self.config = config or AdaptiveConfig()
+        self.view_index = ViewIndex(column, self.config)
+        self._background: BackgroundMapper | None = None
+        if self.config.background_mapping:
+            self._background = BackgroundMapper(column.mapper.cost)
+        # Serializes queries and maintenance against the shared view
+        # index; concurrent callers stay correct (simulated time is
+        # unaffected — it accumulates on the cost ledger either way).
+        self._lock = threading.RLock()
+
+    # -- query processing (Listing 1) -------------------------------------
+
+    def answer_query(self, lo: int, hi: int) -> QueryResult:
+        """answerQueryAndMaintainViews(q): answer ``[lo, hi]``, adapt views."""
+        if lo > hi:
+            raise ValueError(f"inverted query range [{lo}, {hi}]")
+        lo, hi = clamp_range(lo, hi)
+        cost = self.column.mapper.cost
+
+        with self._lock, cost.region() as region:
+            views = self.view_index.get_optimal_views(lo, hi)
+            routed = scan_views(self.column, views, lo, hi)
+
+            event = ViewEvent.NONE
+            candidate_pages = 0
+            if not self.view_index.generation_stopped:
+                candidate = VirtualView(self.column, lo, hi)
+                materialize_pages(
+                    candidate,
+                    routed.qualifying_fpages,
+                    coalesce=self.config.coalesce_mmap,
+                    background=self._background,
+                )
+                candidate.update_range(routed.extended_lo, routed.extended_hi)
+                candidate_pages = candidate.num_pages
+                event = self.view_index.consider_candidate(candidate)
+
+        stats = QueryStats(
+            lo=lo,
+            hi=hi,
+            sim_ns=region.lane_ns(MAIN_LANE),
+            pages_scanned=routed.pages_scanned,
+            views_used=routed.views_used,
+            result_rows=int(routed.rowids.size),
+            view_event=event,
+            candidate_pages=candidate_pages,
+            partial_views_after=self.view_index.num_partials,
+        )
+        return QueryResult(rowids=routed.rowids, values=routed.values, stats=stats)
+
+    # -- update handling (Sections 2.4 / 2.5) ------------------------------
+
+    def apply_updates(self, batch: UpdateBatch) -> MaintenanceStats:
+        """Realign all partial views after a batch of updates.
+
+        The updates themselves must already have been written through the
+        full view (e.g. via :meth:`repro.storage.table.Table.update`);
+        this call parses the memory mappings once and aligns every
+        partial view against the batch.
+        """
+        with self._lock:
+            return align_partial_views(
+                self.column, self.view_index.partial_views, batch
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the background mapping thread, if any."""
+        if self._background is not None:
+            self._background.stop()
+            self._background = None
+
+    def __enter__(self) -> "AdaptiveStorageLayer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

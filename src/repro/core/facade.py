@@ -1,0 +1,139 @@
+"""High-level facade: a small database with adaptive storage built in.
+
+:class:`AdaptiveDatabase` wires the pieces together for application code
+and the examples: a catalog of tables, one adaptive storage layer per
+column (created lazily), range queries routed through the views, and a
+batched update path that keeps all partial views aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..storage.table import Catalog, Table
+from ..vm.cost import CostModel
+from ..vm.physical import PhysicalMemory
+from .adaptive import AdaptiveStorageLayer, QueryResult
+from .config import AdaptiveConfig
+from .stats import MaintenanceStats
+
+
+class AdaptiveDatabase:
+    """A column-store whose storage layer indexes itself adaptively."""
+
+    def __init__(
+        self,
+        config: AdaptiveConfig | None = None,
+        capacity_bytes: int = PhysicalMemory.DEFAULT_CAPACITY_BYTES,
+        cost: CostModel | None = None,
+        auto_flush_threshold: int | None = None,
+    ) -> None:
+        """``auto_flush_threshold`` enables automatic batch view
+        realignment: once a column's pending update log reaches the
+        threshold, :meth:`update` triggers a flush (Section 2.4 argues
+        for adjustable batches; this is the adjustable policy)."""
+        if auto_flush_threshold is not None and auto_flush_threshold < 1:
+            raise ValueError("auto_flush_threshold must be positive")
+        self.config = config or AdaptiveConfig()
+        self.auto_flush_threshold = auto_flush_threshold
+        self.catalog = Catalog(PhysicalMemory(capacity_bytes, cost=cost))
+        self._layers: dict[tuple[str, str], AdaptiveStorageLayer] = {}
+
+    @property
+    def cost(self) -> CostModel:
+        """The shared cost model (simulated time, operation counters)."""
+        return self.catalog.cost
+
+    # -- schema ---------------------------------------------------------
+
+    def create_table(self, name: str, data: Mapping[str, np.ndarray]) -> Table:
+        """Create a table from per-column value arrays."""
+        return self.catalog.create_table(name, data)
+
+    def table(self, name: str) -> Table:
+        """Look up a table."""
+        return self.catalog.get_table(name)
+
+    def layer(self, table_name: str, column_name: str) -> AdaptiveStorageLayer:
+        """The adaptive storage layer of one column (created on demand)."""
+        key = (table_name, column_name)
+        if key not in self._layers:
+            column = self.table(table_name).column(column_name)
+            self._layers[key] = AdaptiveStorageLayer(column, self.config)
+        return self._layers[key]
+
+    # -- queries ----------------------------------------------------------
+
+    def query(
+        self, table_name: str, column_name: str, lo: int, hi: int
+    ) -> QueryResult:
+        """Answer ``SELECT ... WHERE column BETWEEN lo AND hi``.
+
+        Routed through the column's views; partial views are created and
+        refined as a side product.  Pending updates on the column are
+        aligned first so views never serve stale page sets.
+        """
+        table = self.table(table_name)
+        layer = self.layer(table_name, column_name)
+        if len(table.pending_updates(column_name)):
+            layer.apply_updates(table.drain_updates(column_name))
+        result = layer.answer_query(lo, hi)
+        keep = table.live_row_mask(result.rowids)
+        if keep is not None:
+            result.rowids = result.rowids[keep]
+            result.values = result.values[keep]
+            result.stats.result_rows = int(result.rowids.size)
+        return result
+
+    def delete(
+        self, table_name: str, column_name: str, lo: int, hi: int
+    ) -> int:
+        """Delete all rows whose ``column_name`` value lies in
+        ``[lo, hi]``; returns the number of rows deleted.
+
+        Deletion tombstones the rows — physical pages and views stay in
+        place, and every later selection filters the tombstones out.
+        """
+        result = self.query(table_name, column_name, lo, hi)
+        return self.table(table_name).delete_rows(result.rowids)
+
+    # -- updates -----------------------------------------------------------
+
+    def update(
+        self, table_name: str, column_name: str, row: int, new_value: int
+    ) -> int:
+        """Update one value (written through the full view, logged).
+
+        With an ``auto_flush_threshold`` set, reaching the threshold
+        realigns the column's partial views automatically.
+        """
+        table = self.table(table_name)
+        old = table.update(column_name, row, new_value)
+        if (
+            self.auto_flush_threshold is not None
+            and len(table.pending_updates(column_name)) >= self.auto_flush_threshold
+        ):
+            self.flush_updates(table_name, column_name)
+        return old
+
+    def flush_updates(self, table_name: str, column_name: str) -> MaintenanceStats:
+        """Align the column's partial views with all pending updates."""
+        table = self.table(table_name)
+        batch = table.drain_updates(column_name)
+        return self.layer(table_name, column_name).apply_updates(batch)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down all layers (stops background mapping threads)."""
+        for layer in self._layers.values():
+            layer.shutdown()
+        self._layers.clear()
+
+    def __enter__(self) -> "AdaptiveDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,150 @@
+"""Batch alignment of partial views after updates (Sections 2.4 / 2.5).
+
+When the physical column changes through the full view, every partial
+view whose value range is affected must be realigned.  Per batch:
+
+1. the update sequence is compacted so only the first old and last new
+   value per row remain (:meth:`repro.storage.updates.UpdateBatch.compact`);
+2. ``/proc/PID/maps`` is parsed *once* into a page-wise bimap snapshot
+   (Section 2.5) — the user-space source of truth for "is this physical
+   page currently indexed by this view?";
+3. per view ``v[a, b]`` and per modified physical page ``p``:
+
+   * **case 1 — p not indexed**: map it iff some update wrote a new
+     value inside ``[a, b]``;
+   * **case 2 — p indexed**: if some new value lies in ``[a, b]`` it
+     stays; else if no old value was in ``[a, b]`` the updates cannot
+     have affected this view and it stays; otherwise a full page scan
+     decides — only if no remaining value lies in ``[a, b]`` may the
+     page be removed.
+
+The snapshot is maintained from user space while pages are (un)mapped
+and discarded after the batch.
+"""
+
+from __future__ import annotations
+
+from ..storage.column import PhysicalColumn
+from ..storage.updates import UpdateBatch
+from ..vm.cost import MAIN_LANE
+from ..vm.procmaps import MappingSnapshot, snapshot_address_space
+from .creation import materialize_pages
+from .routing import scan_views
+from .stats import MaintenanceStats
+from .view import VirtualView
+
+#: Path prefix under which main-memory files appear in the maps file.
+SHM_PREFIX = "/dev/shm/"
+
+
+def _is_indexed(
+    snapshot: MappingSnapshot, view: VirtualView, path: str, fpage: int
+) -> bool:
+    """Whether ``view`` currently maps physical page ``fpage``.
+
+    Answered from the user-space bimap snapshot, as the paper does — the
+    view's virtual area is known, so the question reduces to "does any
+    virtual page of this area map the physical page?".
+    """
+    lo_vpn = view.base_vpn
+    hi_vpn = view.base_vpn + view.capacity
+    return any(
+        lo_vpn <= vpn < hi_vpn for vpn in snapshot.virtuals_of((path, fpage))
+    )
+
+
+def align_partial_views(
+    column: PhysicalColumn,
+    views: list[VirtualView],
+    batch: UpdateBatch,
+    lane: str = MAIN_LANE,
+) -> MaintenanceStats:
+    """Align all ``views`` of ``column`` against an applied update batch.
+
+    Returns the timing split (maps parsing vs. view updating) and the
+    page add/remove counts that Figure 7 plots.
+    """
+    cost = column.mapper.cost
+    stats = MaintenanceStats(batch_size=len(batch))
+
+    compacted = batch.compact()
+    stats.compacted_size = len(compacted)
+    groups = compacted.group_by_page(column.values_per_page)
+    # Compaction and grouping hash every raw and compacted update once.
+    cost.update_check(len(batch) + len(compacted), lane)
+
+    # Step 2: parse the memory mappings once for the whole batch.
+    path = f"{SHM_PREFIX}{column.file.name}"
+    with cost.region() as parse_region:
+        snapshot = snapshot_address_space(
+            column.mapper.address_space,
+            cost=cost,
+            lane=lane,
+            file_filter=path,
+        )
+    stats.parse_ns = parse_region.lane_ns(lane)
+    stats.maps_lines = parse_region.counter_deltas.get("maps_lines_parsed", 0)
+
+    with cost.region() as update_region:
+        for view in views:
+            if view.is_full_view:
+                continue
+            a, b = view.lo, view.hi
+            for fpage, updates in groups.items():
+                # Inspecting the update group: one pass over its records
+                # plus the bimap round trip answering "is this physical
+                # page indexed by this view?".
+                cost.update_check(len(updates), lane)
+                indexed = _is_indexed(snapshot, view, path, fpage)
+                cost.bimap_op(2, lane)
+                any_new_in = any(a <= u.new <= b for u in updates)
+
+                if not indexed:
+                    if any_new_in:
+                        view.add_page(fpage, lane=lane)
+                        snapshot.map(view.vpn_of(fpage), (path, fpage), lane)
+                        stats.pages_added += 1
+                    continue
+
+                if any_new_in:
+                    continue  # still holds an in-range value, stays indexed
+                any_old_in = any(a <= u.old <= b for u in updates)
+                if not any_old_in:
+                    continue  # updates never touched this view's range
+                # An in-range value may have been overwritten: only a full
+                # page scan can prove the page no longer qualifies.
+                result = column.scan_page(fpage, a, b, access_kind="random", lane=lane)
+                if result.empty:
+                    vpn = view.vpn_of(fpage)
+                    view.remove_page(fpage, lane=lane)
+                    snapshot.unmap(vpn, lane)
+                    stats.pages_removed += 1
+    stats.update_ns = update_region.lane_ns(lane)
+    return stats
+
+
+def rebuild_partial_views(
+    column: PhysicalColumn,
+    full_view: VirtualView,
+    ranges: list[tuple[int, int]],
+    coalesce: bool = True,
+    lane: str = MAIN_LANE,
+) -> tuple[list[VirtualView], float]:
+    """Rebuild views from scratch instead of aligning them (Figure 7's
+    comparison baseline).
+
+    Each view is recreated by a fresh scan-and-filter of the full view
+    followed by mapping all qualifying pages.  Returns the new views and
+    the simulated rebuild time.
+    """
+    cost = column.mapper.cost
+    rebuilt: list[VirtualView] = []
+    with cost.region() as region:
+        for lo, hi in ranges:
+            routed = scan_views(column, [full_view], lo, hi, lane=lane)
+            view = VirtualView(column, lo, hi, lane=lane)
+            materialize_pages(
+                view, routed.qualifying_fpages, coalesce=coalesce, lane=lane
+            )
+            rebuilt.append(view)
+    return rebuilt, region.lane_ns(lane)

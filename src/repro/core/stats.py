@@ -1,0 +1,155 @@
+"""Per-query and per-maintenance statistics.
+
+The paper's figures plot, next to response time, the *number of scanned
+physical pages* (Figure 4), the *number of views used per query*
+(Figure 5) and the *pages added/removed* during view maintenance
+(Figure 7).  These records carry exactly that data out of the layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ViewEvent(Enum):
+    """What happened to the candidate view built during a query."""
+
+    #: No candidate was built (generation stopped or disabled).
+    NONE = "none"
+
+    #: The candidate was inserted as a new partial view.
+    INSERTED = "inserted"
+
+    #: The candidate replaced an existing partial view (superset rule).
+    REPLACED = "replaced"
+
+    #: Discarded: covers a subset of an existing view of similar size.
+    DISCARDED_SUBSET = "discarded_subset"
+
+    #: Discarded: does not index fewer pages than the full view.
+    DISCARDED_FULL = "discarded_full"
+
+    #: Discarded: the maximum number of views was already reached.
+    LIMIT_REACHED = "limit_reached"
+
+    #: Inserted after evicting the least-recently-used view (extension).
+    EVICTED_LRU = "evicted_lru"
+
+
+@dataclass(frozen=True)
+class ViewLifecycleEvent:
+    """One entry of the view index's lifecycle journal.
+
+    Records what happened to the candidate view built during a query —
+    enough to reconstruct *why* the index looks the way it does.
+    """
+
+    #: Sequence number within the layer (1-based).
+    sequence: int
+    #: The decision taken.
+    event: ViewEvent
+    #: The candidate's covered value range (after extension).
+    lo: int
+    hi: int
+    #: Pages the candidate indexed.
+    candidate_pages: int
+    #: Range of the existing view that triggered a subset-discard or was
+    #: replaced (None otherwise).
+    other_range: tuple[int, int] | None = None
+    #: Page count of that other view.
+    other_pages: int | None = None
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        base = (
+            f"#{self.sequence} candidate v[{self.lo}, {self.hi}] "
+            f"({self.candidate_pages}p): {self.event.value}"
+        )
+        if self.other_range is not None:
+            base += (
+                f" (vs v[{self.other_range[0]}, {self.other_range[1]}]"
+                f" {self.other_pages}p)"
+            )
+        return base
+
+
+@dataclass
+class QueryStats:
+    """Measurements of one routed query."""
+
+    lo: int
+    hi: int
+    #: Simulated response time (main lane) in nanoseconds.
+    sim_ns: float = 0.0
+    #: Distinct physical pages scanned to answer the query.
+    pages_scanned: int = 0
+    #: Number of views used to answer the query.
+    views_used: int = 0
+    #: Rows in the query result.
+    result_rows: int = 0
+    #: Fate of the candidate view created alongside the query.
+    view_event: ViewEvent = ViewEvent.NONE
+    #: Pages indexed by the candidate view (0 if no candidate was built).
+    candidate_pages: int = 0
+    #: Number of partial views existing after the query.
+    partial_views_after: int = 0
+
+    @property
+    def sim_ms(self) -> float:
+        """Simulated response time in milliseconds."""
+        return self.sim_ns / 1e6
+
+
+@dataclass
+class MaintenanceStats:
+    """Measurements of one batch view alignment (Figure 7's quantities)."""
+
+    #: Updates in the raw batch.
+    batch_size: int = 0
+    #: Updates remaining after per-row compaction.
+    compacted_size: int = 0
+    #: Simulated time spent parsing /proc/PID/maps into the bimap.
+    parse_ns: float = 0.0
+    #: Simulated time spent deciding and (un)mapping pages.
+    update_ns: float = 0.0
+    #: Lines in the parsed maps file.
+    maps_lines: int = 0
+    #: Pages newly mapped into partial views.
+    pages_added: int = 0
+    #: Pages removed from partial views.
+    pages_removed: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        """Parse plus update time."""
+        return self.parse_ns + self.update_ns
+
+
+@dataclass
+class SequenceStats:
+    """Aggregate over a query sequence (Table 1's quantity)."""
+
+    queries: list[QueryStats] = field(default_factory=list)
+
+    def append(self, stats: QueryStats) -> None:
+        """Record one more query."""
+        self.queries.append(stats)
+
+    @property
+    def accumulated_ns(self) -> float:
+        """Accumulated simulated response time over the sequence."""
+        return sum(q.sim_ns for q in self.queries)
+
+    @property
+    def accumulated_seconds(self) -> float:
+        """Accumulated simulated response time in seconds."""
+        return self.accumulated_ns / 1e9
+
+    @property
+    def total_pages_scanned(self) -> int:
+        """Pages scanned over the whole sequence."""
+        return sum(q.pages_scanned for q in self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)

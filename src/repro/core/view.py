@@ -1,0 +1,308 @@
+"""Virtual views: the fused storage/indexing primitive (Sections 1.1, 2).
+
+A :class:`VirtualView` is a virtual memory area that maps a subset of a
+column's physical pages.  The *full* view ``v[-inf, inf]`` maps every
+page; a *partial* view ``v[l, u]`` maps exactly the pages that hold at
+least one value in ``[l, u]``.  Views over-allocate their virtual area to
+the size of the whole column at creation (a cheap anonymous reservation),
+so pages can later be mapped into "unused" virtual slots — both during
+creation and when updates add pages (Section 2.4, case 1).
+
+Per view the layer materializes only the covered value range and the
+number of indexed pages, exactly the meta-data footprint the paper
+states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.column import PhysicalColumn
+from ..vm.constants import MAX_VALUE, MIN_VALUE
+from ..vm.cost import MAIN_LANE
+
+
+@dataclass(frozen=True)
+class MapRequest:
+    """A planned mmap(MAP_FIXED) call: map ``npages`` physical pages
+    starting at ``fpage_start`` onto the view's virtual pages starting at
+    ``vpn_start``.  Produced by :meth:`VirtualView.plan_run`, executed
+    either inline or by the background mapping thread."""
+
+    vpn_start: int
+    fpage_start: int
+    npages: int
+
+
+class VirtualView:
+    """One virtual view over a physical column."""
+
+    def __init__(
+        self,
+        column: PhysicalColumn,
+        lo: int = MIN_VALUE,
+        hi: int = MAX_VALUE,
+        lane: str = MAIN_LANE,
+    ) -> None:
+        """Create an empty view covering ``[lo, hi]``.
+
+        Reserves a virtual area as large as the whole column (anonymous
+        over-allocation; almost free).  Pages are mapped in afterwards
+        via :meth:`add_page` / :meth:`map_run`.
+        """
+        if lo > hi:
+            raise ValueError(f"inverted value range [{lo}, {hi}]")
+        self.column = column
+        self.mapper = column.mapper
+        self.lo = lo
+        self.hi = hi
+        self.capacity = column.num_pages
+        self.is_full_view = False
+        self.base_vpn = self.mapper.mmap(self.capacity, lane=lane)
+        self._fpage_at = np.full(self.capacity, -1, dtype=np.int64)
+        self._slot_by_fpage = np.full(self.capacity, -1, dtype=np.int64)
+        self._touched = np.zeros(self.capacity, dtype=bool)
+        self._num_mapped = 0
+        self._next_fresh = 0
+        self._free_slots: list[int] = []
+        self._mapped_cache: np.ndarray | None = None
+        self._alive = True
+
+    @classmethod
+    def full_view(cls, column: PhysicalColumn, lane: str = MAIN_LANE) -> "VirtualView":
+        """The default full view ``v[-inf, inf]`` mapping the whole column.
+
+        Created with a single file-backed mmap; its pages are considered
+        already faulted in (the column was just materialized through it).
+        """
+        view = cls.__new__(cls)
+        view.column = column
+        view.mapper = column.mapper
+        view.lo = MIN_VALUE
+        view.hi = MAX_VALUE
+        view.capacity = column.num_pages
+        view.is_full_view = True
+        view.base_vpn = view.mapper.mmap(
+            column.num_pages, file=column.file, file_page=0, lane=lane
+        )
+        identity = np.arange(column.num_pages, dtype=np.int64)
+        view._fpage_at = identity
+        view._slot_by_fpage = identity
+        view._touched = np.ones(column.num_pages, dtype=bool)
+        view._num_mapped = column.num_pages
+        view._next_fresh = column.num_pages
+        view._free_slots = []
+        view._mapped_cache = identity
+        view._alive = True
+        return view
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Number of physical pages the view currently indexes."""
+        return self._num_mapped
+
+    @property
+    def value_range(self) -> tuple[int, int]:
+        """The covered value range ``[lo, hi]``."""
+        return self.lo, self.hi
+
+    def contains_page(self, fpage: int) -> bool:
+        """Whether physical page ``fpage`` is indexed by this view."""
+        if not 0 <= fpage < self.capacity:
+            return False
+        return bool(self._slot_by_fpage[fpage] >= 0)
+
+    def mapped_fpages(self) -> np.ndarray:
+        """Indexed physical pages in scan (virtual-address) order."""
+        if self._mapped_cache is None:
+            slots = np.nonzero(self._fpage_at >= 0)[0]
+            self._mapped_cache = self._fpage_at[slots]
+        return self._mapped_cache
+
+    def vpn_of(self, fpage: int) -> int:
+        """Virtual page of this view currently mapping ``fpage``."""
+        if not 0 <= fpage < self.capacity:
+            raise ValueError(f"page {fpage} outside the column")
+        slot = int(self._slot_by_fpage[fpage])
+        if slot < 0:
+            raise ValueError(f"page {fpage} is not indexed by this view")
+        return self.base_vpn + slot
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """Whether the view's range fully covers ``[lo, hi]``."""
+        return self.lo <= lo and hi <= self.hi
+
+    def covers_subset_of(self, other: "VirtualView") -> bool:
+        """Whether this view's range lies inside ``other``'s range."""
+        return other.lo <= self.lo and self.hi <= other.hi
+
+    def covers_superset_of(self, other: "VirtualView") -> bool:
+        """Whether this view's range contains ``other``'s range."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def update_range(self, lo: int, hi: int) -> None:
+        """Adjust the covered range (the Listing 1 range extension)."""
+        if lo > hi:
+            raise ValueError(f"inverted value range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    # -- mapping mutations -------------------------------------------------
+
+    def _take_slot(self) -> int:
+        """Pick an unused virtual slot (hole first, then fresh space)."""
+        if self._free_slots:
+            return self._free_slots.pop()
+        if self._next_fresh >= self.capacity:
+            raise RuntimeError("view over-allocation exhausted")
+        slot = self._next_fresh
+        self._next_fresh += 1
+        return slot
+
+    def plan_run(self, fpages: np.ndarray | list[int]) -> MapRequest:
+        """Reserve consecutive fresh slots for a run of consecutive
+        physical pages and record the bookkeeping, without issuing the
+        mmap call yet.
+
+        Used by the optimized creation path: the returned request can be
+        executed inline (one coalesced call) or handed to the background
+        mapping thread.  The run must be consecutive in physical pages.
+        """
+        if self.is_full_view:
+            raise RuntimeError("cannot map pages into the full view")
+        fpages = np.asarray(fpages, dtype=np.int64)
+        n = int(fpages.size)
+        if n == 0:
+            raise ValueError("empty map run")
+        if n > 1 and not np.all(np.diff(fpages) == 1):
+            raise ValueError("map run must cover consecutive physical pages")
+        if self._next_fresh + n > self.capacity:
+            raise RuntimeError("view over-allocation exhausted")
+        if np.any(self._slot_by_fpage[fpages] >= 0):
+            raise ValueError("run contains pages already indexed by this view")
+        slot_start = self._next_fresh
+        self._next_fresh += n
+        self._fpage_at[slot_start : slot_start + n] = fpages
+        self._slot_by_fpage[fpages] = np.arange(slot_start, slot_start + n)
+        self._touched[slot_start : slot_start + n] = False
+        self._num_mapped += n
+        self._mapped_cache = None
+        return MapRequest(
+            vpn_start=self.base_vpn + slot_start,
+            fpage_start=int(fpages[0]),
+            npages=n,
+        )
+
+    def execute_request(self, request: MapRequest, lane: str = MAIN_LANE) -> None:
+        """Issue the mmap(MAP_FIXED) call for a planned run.
+
+        The freshly mapped pages are populated immediately (their soft
+        faults are paid here, as part of creation), so subsequent view
+        scans run fault-free — the paper's "negligible overhead for the
+        very first page access after (re-)mapping" is amortized into the
+        mapping step.
+        """
+        self.mapper.remap_fixed(
+            request.vpn_start,
+            request.npages,
+            self.column.file,
+            request.fpage_start,
+            populate=True,
+            lane=lane,
+        )
+        start_slot = request.vpn_start - self.base_vpn
+        self._touched[start_slot : start_slot + request.npages] = True
+
+    def map_run(self, fpages: np.ndarray | list[int], lane: str = MAIN_LANE) -> None:
+        """Map a run of consecutive physical pages with one mmap call."""
+        self.execute_request(self.plan_run(fpages), lane=lane)
+
+    def add_page(self, fpage: int, lane: str = MAIN_LANE) -> None:
+        """Map one physical page into an unused virtual slot.
+
+        This is the update path (Section 2.4, case 1): holes left by
+        removed pages are reused before fresh over-allocated space.
+        """
+        if self.is_full_view:
+            raise RuntimeError("cannot map pages into the full view")
+        self.column.file.check_page(fpage)
+        if self.contains_page(fpage):
+            raise ValueError(f"page {fpage} already indexed by this view")
+        slot = self._take_slot()
+        self._fpage_at[slot] = fpage
+        self._slot_by_fpage[fpage] = slot
+        self._num_mapped += 1
+        self._mapped_cache = None
+        self.mapper.remap_fixed(
+            self.base_vpn + slot, 1, self.column.file, fpage, populate=True, lane=lane
+        )
+        self._touched[slot] = True
+
+    def remove_page(self, fpage: int, lane: str = MAIN_LANE) -> None:
+        """Unmap one physical page (Section 2.4, case 2).
+
+        The virtual slot is remapped back to anonymous memory, keeping
+        the over-allocated reservation intact, and becomes reusable.
+        """
+        if self.is_full_view:
+            raise RuntimeError("cannot remove pages from the full view")
+        if not self.contains_page(fpage):
+            raise ValueError(f"page {fpage} is not indexed by this view")
+        slot = int(self._slot_by_fpage[fpage])
+        self._slot_by_fpage[fpage] = -1
+        self._fpage_at[slot] = -1
+        self._touched[slot] = False
+        self._num_mapped -= 1
+        self._free_slots.append(slot)
+        self._mapped_cache = None
+        self.mapper.mmap(1, addr=self.base_vpn + slot, fixed=True, lane=lane)
+
+    def destroy(self, lane: str = MAIN_LANE) -> None:
+        """Tear the view down (discarded candidate / dropped view)."""
+        if not self._alive:
+            return
+        removed_pages = self.num_pages
+        self.mapper.address_space.remove_mapping(self.base_vpn, self.capacity)
+        self.mapper.cost.munmap_call(removed_pages, lane)
+        self._fpage_at[:] = -1
+        self._slot_by_fpage[:] = -1
+        self._num_mapped = 0
+        self._mapped_cache = None
+        self._alive = False
+
+    # -- fault accounting ----------------------------------------------------
+
+    def charge_first_touch(
+        self, fpages: np.ndarray | None = None, lane: str = MAIN_LANE
+    ) -> int:
+        """Charge soft faults for first accesses after (re-)mapping.
+
+        ``fpages`` limits the charge to the pages actually scanned; by
+        default all mapped pages are considered.  Returns the number of
+        faults charged.
+        """
+        if self.is_full_view:
+            return 0
+        if fpages is None:
+            slots = np.nonzero(self._fpage_at >= 0)[0]
+        else:
+            fpages = np.asarray(fpages, dtype=np.int64)
+            slots = self._slot_by_fpage[fpages]
+            slots = slots[slots >= 0]
+        untouched = slots[~self._touched[slots]]
+        n = int(untouched.size)
+        if n:
+            self.mapper.cost.soft_fault(n, lane)
+            self._touched[untouched] = True
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "full" if self.is_full_view else "partial"
+        return (
+            f"VirtualView({kind}, range=[{self.lo}, {self.hi}], "
+            f"pages={self.num_pages})"
+        )

@@ -1,0 +1,259 @@
+"""The view index: all views of a column plus the retention policy.
+
+Implements ``views.getOptimalViews`` from Listing 1 for both routing
+modes (Section 2.1) and the candidate retention decision of Listing 1,
+lines 21–32 (discard-as-subset with tolerance ``d``, replace-as-superset
+with tolerance ``r``, insert while below the view limit, stop generation
+once the limit is reached).
+"""
+
+from __future__ import annotations
+
+from ..storage.column import PhysicalColumn
+from ..vm.cost import MAIN_LANE
+from .config import AdaptiveConfig, EvictionPolicy, RoutingMode
+from .stats import ViewEvent, ViewLifecycleEvent
+from .view import VirtualView
+
+
+class ViewIndex:
+    """Full view plus the adaptively created partial views of a column."""
+
+    def __init__(self, column: PhysicalColumn, config: AdaptiveConfig) -> None:
+        self.column = column
+        self.config = config
+        self.full_view = VirtualView.full_view(column)
+        self._partials: list[VirtualView] = []
+        #: Once the view limit is hit, generation of new partial views
+        #: stops altogether (Section 2.2).
+        self.generation_stopped = False
+        #: Journal of candidate decisions (debugging / introspection).
+        self.history: list[ViewLifecycleEvent] = []
+        #: Logical clock for LRU bookkeeping.
+        self._use_clock = 0
+        self._last_used: dict[int, int] = {}
+
+    @property
+    def partial_views(self) -> list[VirtualView]:
+        """The current partial views (insertion order)."""
+        return list(self._partials)
+
+    @property
+    def num_partials(self) -> int:
+        """Number of partial views currently kept."""
+        return len(self._partials)
+
+    def all_views(self) -> list[VirtualView]:
+        """Full view plus all partial views."""
+        return [self.full_view, *self._partials]
+
+    # -- query routing (Section 2.1) -------------------------------------
+
+    def get_optimal_views(self, lo: int, hi: int) -> list[VirtualView]:
+        """The view(s) used to answer a query selecting ``[lo, hi]``.
+
+        Dispatches on the configured routing mode.  The result always
+        fully covers ``[lo, hi]`` (the full view guarantees a fallback).
+        """
+        selected: list[VirtualView] | None = None
+        if self.config.mode is RoutingMode.MULTI:
+            selected = self._select_multi(lo, hi)
+        elif self.config.mode is RoutingMode.MULTI_COST:
+            selected = self._select_multi_cost(lo, hi)
+        if selected is None:
+            selected = [self._select_single(lo, hi)]
+        self._touch(selected)
+        return selected
+
+    def _touch(self, views: list[VirtualView]) -> None:
+        """Advance the LRU clock for the views a query used."""
+        self._use_clock += 1
+        for view in views:
+            if not view.is_full_view:
+                self._last_used[id(view)] = self._use_clock
+
+    def _select_single(self, lo: int, hi: int) -> VirtualView:
+        """Single-view mode: the smallest view fully covering the range."""
+        best = self.full_view
+        for view in self._partials:
+            if view.covers(lo, hi) and view.num_pages < best.num_pages:
+                best = view
+        return best
+
+    def _select_multi(self, lo: int, hi: int) -> list[VirtualView] | None:
+        """Multi-view mode: partial views jointly covering the range.
+
+        The paper's current policy is deliberately simple: if the
+        partial views overlapping the query range fully cover it in
+        conjunction, *all* of them are used (shared physical pages are
+        deduplicated by the processed-pages bitvector); choosing a
+        cheaper subset "based on the covered value ranges and the number
+        of indexed pages" is explicitly left as future work.  Returns
+        None when the partials cannot cover the range (the caller falls
+        back to single-view mode).
+        """
+        overlapping = [
+            v for v in self._partials if v.lo <= hi and v.hi >= lo
+        ]
+        if not overlapping:
+            return None
+        overlapping.sort(key=lambda v: (v.lo, -v.hi))
+        point = lo
+        for view in overlapping:
+            if view.lo > point:
+                return None  # gap: the conjunction does not cover [lo, hi]
+            point = max(point, view.hi + 1)
+            if point > hi:
+                return overlapping
+        return overlapping if point > hi else None
+
+    def _select_multi_cost(self, lo: int, hi: int) -> list[VirtualView] | None:
+        """Cost-based multi-view cover (the paper's future work).
+
+        Greedily builds a cover of ``[lo, hi]`` from the partial views,
+        at each uncovered point picking the view with the lowest indexed
+        pages per unit of new coverage.  The resulting cover competes
+        against the best single covering view: whichever scans fewer
+        pages wins.  Returns None when the partials cannot cover the
+        range at all.
+        """
+        candidates = [v for v in self._partials if v.lo <= hi and v.hi >= lo]
+        if not candidates:
+            return None
+
+        chosen: list[VirtualView] = []
+        point = lo
+        while True:
+            covering = [v for v in candidates if v.lo <= point <= v.hi]
+            if not covering:
+                return None  # gap
+            best = min(
+                covering,
+                key=lambda v: (
+                    v.num_pages / (min(v.hi, hi) - point + 1),
+                    -v.hi,
+                ),
+            )
+            chosen.append(best)
+            if best.hi >= hi:
+                break
+            point = best.hi + 1
+
+        cover_pages = len(
+            {page for view in chosen for page in view.mapped_fpages().tolist()}
+        )
+        single = self._select_single(lo, hi)
+        if single.num_pages <= cover_pages:
+            return [single]
+        return chosen
+
+    # -- candidate retention (Listing 1, lines 21-32) ------------------------
+
+    def consider_candidate(
+        self, candidate: VirtualView, lane: str = MAIN_LANE
+    ) -> ViewEvent:
+        """Decide the fate of a freshly built candidate view.
+
+        Implements Listing 1's retention policy verbatim.  The candidate
+        is destroyed here when discarded; replaced views are destroyed as
+        well.  Every decision is recorded in :attr:`history`.
+        """
+        if self.generation_stopped:
+            event = self._journal(candidate, ViewEvent.LIMIT_REACHED)
+            candidate.destroy(lane)
+            return event
+
+        # Must improve over the full view at all.
+        if candidate.num_pages >= self.full_view.num_pages:
+            event = self._journal(candidate, ViewEvent.DISCARDED_FULL)
+            candidate.destroy(lane)
+            return event
+
+        d = self.config.discard_tolerance
+        r = self.config.replacement_tolerance
+        for partial in self._partials:
+            if (
+                candidate.covers_subset_of(partial)
+                and candidate.num_pages >= partial.num_pages - d
+            ):
+                # Smaller range, similar work: less useful than what we have.
+                event = self._journal(
+                    candidate, ViewEvent.DISCARDED_SUBSET, other=partial
+                )
+                candidate.destroy(lane)
+                return event
+            if (
+                candidate.covers_superset_of(partial)
+                and candidate.num_pages <= partial.num_pages + r
+            ):
+                # Wider range, similar work: strictly more useful.
+                event = self._journal(
+                    candidate, ViewEvent.REPLACED, other=partial
+                )
+                self.replace(partial, candidate, lane)
+                return event
+
+        if self.num_partials >= self.config.max_views:
+            if self.config.eviction is EvictionPolicy.LRU and self._partials:
+                victim = min(
+                    self._partials,
+                    key=lambda v: self._last_used.get(id(v), 0),
+                )
+                event = self._journal(
+                    candidate, ViewEvent.EVICTED_LRU, other=victim
+                )
+                self.drop(victim, lane)
+                self.insert(candidate)
+                return event
+            self.generation_stopped = True
+            event = self._journal(candidate, ViewEvent.LIMIT_REACHED)
+            candidate.destroy(lane)
+            return event
+
+        self.insert(candidate)
+        if (
+            self.num_partials >= self.config.max_views
+            and self.config.eviction is EvictionPolicy.STOP
+        ):
+            self.generation_stopped = True
+        return self._journal(candidate, ViewEvent.INSERTED)
+
+    def _journal(
+        self,
+        candidate: VirtualView,
+        event: ViewEvent,
+        other: VirtualView | None = None,
+    ) -> ViewEvent:
+        """Append a lifecycle record and return the event."""
+        self.history.append(
+            ViewLifecycleEvent(
+                sequence=len(self.history) + 1,
+                event=event,
+                lo=candidate.lo,
+                hi=candidate.hi,
+                candidate_pages=candidate.num_pages,
+                other_range=(other.lo, other.hi) if other is not None else None,
+                other_pages=other.num_pages if other is not None else None,
+            )
+        )
+        return event
+
+    def insert(self, view: VirtualView) -> None:
+        """Add a partial view to the index."""
+        if view.is_full_view:
+            raise ValueError("the full view is implicit, do not insert it")
+        self._partials.append(view)
+
+    def replace(
+        self, old: VirtualView, new: VirtualView, lane: str = MAIN_LANE
+    ) -> None:
+        """Replace partial view ``old`` by ``new``, destroying ``old``."""
+        idx = self._partials.index(old)
+        self._partials[idx] = new
+        old.destroy(lane)
+
+    def drop(self, view: VirtualView, lane: str = MAIN_LANE) -> None:
+        """Remove and destroy a partial view."""
+        self._partials.remove(view)
+        self._last_used.pop(id(view), None)
+        view.destroy(lane)

@@ -1,0 +1,15 @@
+"""Optional real-rewiring backend (ctypes mmap over tmpfs/memfd)."""
+
+from .rewiring import (
+    NativeMemoryFile,
+    RewiredRegion,
+    RewiringUnsupportedError,
+    is_supported,
+)
+
+__all__ = [
+    "is_supported",
+    "NativeMemoryFile",
+    "RewiredRegion",
+    "RewiringUnsupportedError",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.sql`` — interactive SQL shell."""
+
+import sys
+
+from .repl import run_repl
+
+if __name__ == "__main__":
+    sys.exit(run_repl())

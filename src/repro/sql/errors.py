@@ -1,0 +1,21 @@
+"""Error types of the SQL front-end."""
+
+
+class SqlError(Exception):
+    """Base class for all SQL front-end errors."""
+
+
+class TokenizeError(SqlError):
+    """The statement contains characters that form no valid token."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The token stream does not form a supported statement."""
+
+
+class ExecutionError(SqlError):
+    """A well-formed statement could not be executed."""

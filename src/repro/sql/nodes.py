@@ -1,0 +1,135 @@
+"""AST nodes of the SQL subset.
+
+The supported grammar (see :mod:`repro.sql.parser`) maps to these plain
+dataclasses; the executor interprets them against an
+:class:`~repro.core.facade.AdaptiveDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vm.constants import MAX_VALUE, MIN_VALUE
+
+
+@dataclass
+class RangePredicate:
+    """The conjunction of all constraints on one column, as a range."""
+
+    column: str
+    lo: int = MIN_VALUE
+    hi: int = MAX_VALUE
+
+    def narrow_lo(self, lo: int) -> None:
+        """Tighten the lower bound."""
+        self.lo = max(self.lo, lo)
+
+    def narrow_hi(self, hi: int) -> None:
+        """Tighten the upper bound."""
+        self.hi = min(self.hi, hi)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the constraints are unsatisfiable."""
+        return self.lo > self.hi
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate expression, e.g. ``SUM(amount)``."""
+
+    function: str  # COUNT / SUM / MIN / MAX / AVG
+    column: str
+
+    @property
+    def label(self) -> str:
+        """Result-column label."""
+        return f"{self.function.lower()}({self.column})"
+
+
+@dataclass
+class SelectStatement:
+    """``SELECT`` — projection or aggregation with range predicates."""
+
+    table: str
+    #: Projected column names; ["*"] means all columns.
+    columns: list[str] = field(default_factory=list)
+    #: Aggregate expressions; mutually exclusive with :attr:`columns`.
+    aggregates: list[Aggregate] = field(default_factory=list)
+    #: Per-column merged range constraints (ANDed).
+    predicates: dict[str, RangePredicate] = field(default_factory=dict)
+    #: Whether the result rows are ordered by rowid.
+    order_by_rowid: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether the statement computes aggregates."""
+        return bool(self.aggregates)
+
+
+@dataclass
+class CreateTableStatement:
+    """``CREATE TABLE t (a, b, ...)`` — all columns are 64-bit integers."""
+
+    table: str
+    columns: list[str]
+
+
+@dataclass
+class InsertStatement:
+    """``INSERT INTO t VALUES (...), (...)``."""
+
+    table: str
+    rows: list[tuple[int, ...]]
+
+
+@dataclass
+class UpdateStatement:
+    """``UPDATE t SET col = value WHERE ...``."""
+
+    table: str
+    column: str
+    value: int
+    predicates: dict[str, RangePredicate] = field(default_factory=dict)
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM t WHERE ...`` — tombstones the matching rows."""
+
+    table: str
+    predicates: dict[str, RangePredicate] = field(default_factory=dict)
+
+
+@dataclass
+class FlushStatement:
+    """``FLUSH UPDATES t`` — realign all partial views of a table."""
+
+    table: str
+
+
+@dataclass
+class ShowViewsStatement:
+    """``SHOW VIEWS t.col`` — introspect one column's view index."""
+
+    table: str
+    column: str
+
+
+@dataclass
+class ExplainStatement:
+    """``EXPLAIN SELECT ...`` — show the routing decision, don't run."""
+
+    select: SelectStatement
+
+
+Statement = (
+    SelectStatement
+    | CreateTableStatement
+    | InsertStatement
+    | UpdateStatement
+    | DeleteStatement
+    | FlushStatement
+    | ShowViewsStatement
+    | ExplainStatement
+)

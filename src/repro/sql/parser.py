@@ -1,0 +1,285 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (keywords case-insensitive, one statement per parse; a trailing
+semicolon is optional)::
+
+    statement   := select | create | insert | update | delete | flush
+                 | show | explain
+    select      := SELECT select_list FROM name [WHERE conjunction]
+                   [ORDER BY name]
+    select_list := '*' | name (',' name)* | aggregate (',' aggregate)*
+    aggregate   := COUNT '(' '*' ')'
+                 | (COUNT|SUM|MIN|MAX|AVG) '(' name ')'
+    create      := CREATE TABLE name '(' name (',' name)* ')'
+    insert      := INSERT INTO name VALUES row (',' row)*
+    row         := '(' number (',' number)* ')'
+    update      := UPDATE name SET name '=' number [WHERE conjunction]
+    delete      := DELETE FROM name [WHERE conjunction]
+    flush       := FLUSH UPDATES name
+    show        := SHOW VIEWS name '.' name
+    explain     := EXPLAIN select
+    conjunction := comparison (AND comparison)*
+    comparison  := name BETWEEN number AND number
+                 | name ('='|'<'|'>'|'<='|'>=') number
+
+``ORDER BY`` only supports the implicit row order (``ORDER BY rowid``).
+"""
+
+from __future__ import annotations
+
+from .errors import ParseError
+from .nodes import (
+    Aggregate,
+    CreateTableStatement,
+    DeleteStatement,
+    ExplainStatement,
+    FlushStatement,
+    InsertStatement,
+    RangePredicate,
+    SelectStatement,
+    ShowViewsStatement,
+    Statement,
+    UpdateStatement,
+)
+from .tokens import AGGREGATES, Token, TokenType, tokenize
+
+
+class Parser:
+    """Parses one statement from a token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.END:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(*names):
+            raise ParseError(f"expected {'/'.join(names)}, got {token.value!r}")
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._advance()
+        if not token.is_symbol(symbol):
+            raise ParseError(f"expected {symbol!r}, got {token.value!r}")
+        return token
+
+    def _expect_identifier(self) -> str:
+        token = self._advance()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError(f"expected identifier, got {token.value!r}")
+        return token.value
+
+    def _expect_number(self) -> int:
+        token = self._advance()
+        if token.type is not TokenType.NUMBER:
+            raise ParseError(f"expected number, got {token.value!r}")
+        return int(token.value)
+
+    def _expect_end(self) -> None:
+        if self._peek().is_symbol(";"):
+            self._advance()
+        token = self._peek()
+        if token.type is not TokenType.END:
+            raise ParseError(f"unexpected trailing input: {token.value!r}")
+
+    # -- entry point ------------------------------------------------------
+
+    def parse(self) -> Statement:
+        """Parse exactly one statement."""
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            statement = self._parse_select()
+        elif token.is_keyword("CREATE"):
+            statement = self._parse_create()
+        elif token.is_keyword("INSERT"):
+            statement = self._parse_insert()
+        elif token.is_keyword("UPDATE"):
+            statement = self._parse_update()
+        elif token.is_keyword("DELETE"):
+            statement = self._parse_delete()
+        elif token.is_keyword("FLUSH"):
+            statement = self._parse_flush()
+        elif token.is_keyword("SHOW"):
+            statement = self._parse_show()
+        elif token.is_keyword("EXPLAIN"):
+            self._advance()
+            statement = ExplainStatement(select=self._parse_select())
+        else:
+            raise ParseError(f"unsupported statement start: {token.value!r}")
+        self._expect_end()
+        return statement
+
+    # -- statements --------------------------------------------------------
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        statement = SelectStatement(table="")
+        if self._peek().is_symbol("*"):
+            self._advance()
+            statement.columns = ["*"]
+        elif self._peek().is_keyword(*AGGREGATES):
+            statement.aggregates.append(self._parse_aggregate())
+            while self._peek().is_symbol(","):
+                self._advance()
+                statement.aggregates.append(self._parse_aggregate())
+        else:
+            statement.columns.append(self._expect_identifier())
+            while self._peek().is_symbol(","):
+                self._advance()
+                statement.columns.append(self._expect_identifier())
+        self._expect_keyword("FROM")
+        statement.table = self._expect_identifier()
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            statement.predicates = self._parse_conjunction()
+        if self._peek().is_keyword("ORDER"):
+            self._advance()
+            self._expect_keyword("BY")
+            order_column = self._expect_identifier()
+            if order_column != "rowid":
+                raise ParseError("only ORDER BY rowid is supported")
+            statement.order_by_rowid = True
+        return statement
+
+    def _parse_aggregate(self) -> Aggregate:
+        token = self._advance()
+        if not token.is_keyword(*AGGREGATES):
+            raise ParseError(f"expected aggregate, got {token.value!r}")
+        self._expect_symbol("(")
+        if self._peek().is_symbol("*"):
+            if token.value != "COUNT":
+                raise ParseError(f"{token.value}(*) is not supported")
+            self._advance()
+            column = "*"
+        else:
+            column = self._expect_identifier()
+        self._expect_symbol(")")
+        return Aggregate(function=token.value, column=column)
+
+    def _parse_create(self) -> CreateTableStatement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        table = self._expect_identifier()
+        self._expect_symbol("(")
+        columns = [self._expect_identifier()]
+        while self._peek().is_symbol(","):
+            self._advance()
+            columns.append(self._expect_identifier())
+        self._expect_symbol(")")
+        if len(set(columns)) != len(columns):
+            raise ParseError("duplicate column names")
+        return CreateTableStatement(table=table, columns=columns)
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier()
+        self._expect_keyword("VALUES")
+        rows = [self._parse_row()]
+        while self._peek().is_symbol(","):
+            self._advance()
+            rows.append(self._parse_row())
+        width = len(rows[0])
+        if any(len(row) != width for row in rows):
+            raise ParseError("rows have differing arity")
+        return InsertStatement(table=table, rows=rows)
+
+    def _parse_row(self) -> tuple[int, ...]:
+        self._expect_symbol("(")
+        values = [self._expect_number()]
+        while self._peek().is_symbol(","):
+            self._advance()
+            values.append(self._expect_number())
+        self._expect_symbol(")")
+        return tuple(values)
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier()
+        self._expect_keyword("SET")
+        column = self._expect_identifier()
+        self._expect_symbol("=")
+        value = self._expect_number()
+        predicates: dict[str, RangePredicate] = {}
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            predicates = self._parse_conjunction()
+        return UpdateStatement(
+            table=table, column=column, value=value, predicates=predicates
+        )
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier()
+        predicates: dict[str, RangePredicate] = {}
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            predicates = self._parse_conjunction()
+        return DeleteStatement(table=table, predicates=predicates)
+
+    def _parse_flush(self) -> FlushStatement:
+        self._expect_keyword("FLUSH")
+        self._expect_keyword("UPDATES")
+        return FlushStatement(table=self._expect_identifier())
+
+    def _parse_show(self) -> ShowViewsStatement:
+        self._expect_keyword("SHOW")
+        self._expect_keyword("VIEWS")
+        table = self._expect_identifier()
+        self._expect_symbol(".")
+        column = self._expect_identifier()
+        return ShowViewsStatement(table=table, column=column)
+
+    # -- predicates ----------------------------------------------------------
+
+    def _parse_conjunction(self) -> dict[str, RangePredicate]:
+        predicates: dict[str, RangePredicate] = {}
+        self._parse_comparison(predicates)
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            self._parse_comparison(predicates)
+        return predicates
+
+    def _parse_comparison(self, predicates: dict[str, RangePredicate]) -> None:
+        column = self._expect_identifier()
+        predicate = predicates.setdefault(column, RangePredicate(column))
+        token = self._advance()
+        if token.is_keyword("BETWEEN"):
+            lo = self._expect_number()
+            self._expect_keyword("AND")
+            hi = self._expect_number()
+            if lo > hi:
+                raise ParseError(f"inverted BETWEEN range [{lo}, {hi}]")
+            predicate.narrow_lo(lo)
+            predicate.narrow_hi(hi)
+        elif token.is_symbol("="):
+            value = self._expect_number()
+            predicate.narrow_lo(value)
+            predicate.narrow_hi(value)
+        elif token.is_symbol(">="):
+            predicate.narrow_lo(self._expect_number())
+        elif token.is_symbol("<="):
+            predicate.narrow_hi(self._expect_number())
+        elif token.is_symbol(">"):
+            predicate.narrow_lo(self._expect_number() + 1)
+        elif token.is_symbol("<"):
+            predicate.narrow_hi(self._expect_number() - 1)
+        else:
+            raise ParseError(f"unsupported comparison: {token.value!r}")
+
+
+def parse(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return Parser(text).parse()

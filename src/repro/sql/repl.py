@@ -1,0 +1,75 @@
+"""Interactive SQL shell: ``python -m repro.sql``.
+
+A minimal line-based REPL over :class:`~repro.sql.executor.Session`.
+Statements may span lines and end with ``;``.  Meta commands: ``\\q``
+quits, ``\\cost`` prints the session's accumulated simulated time.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from ..core.config import AdaptiveConfig
+from .errors import SqlError
+from .executor import Session
+
+PROMPT = "repro> "
+CONTINUATION = "  ...> "
+
+
+def run_repl(
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+    config: AdaptiveConfig | None = None,
+) -> int:
+    """Run the shell until EOF or ``\\q``; returns the exit code."""
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    interactive = stdin.isatty() if hasattr(stdin, "isatty") else False
+
+    def emit(text: str = "") -> None:
+        print(text, file=stdout)
+
+    emit("repro SQL shell — adaptive storage views (CIDR 2023 reproduction)")
+    emit("end statements with ';', \\cost shows simulated time, \\q quits")
+
+    with Session(config) as session:
+        buffer: list[str] = []
+        while True:
+            if interactive:
+                print(CONTINUATION if buffer else PROMPT, end="", file=stdout)
+                stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buffer and stripped in ("\\q", "\\quit", "exit", "quit"):
+                break
+            if not buffer and stripped == "\\cost":
+                total_ms = session.db.cost.ledger.lane_ns() / 1e6
+                emit(f"accumulated simulated time: {total_ms:.3f} ms")
+                continue
+            if not stripped:
+                continue
+            buffer.append(line)
+            if not stripped.endswith(";"):
+                continue
+            statement = "".join(buffer)
+            buffer = []
+            try:
+                result = session.execute(statement)
+            except SqlError as exc:
+                emit(f"error: {exc}")
+                continue
+            if result.columns:
+                emit(result.pretty())
+                emit(f"({len(result)} rows)")
+            elif result.message:
+                emit(result.message)
+    emit("bye")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(run_repl())

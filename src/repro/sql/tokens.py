@@ -1,0 +1,128 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat list of :class:`Token` objects.  Keywords are
+case-insensitive and normalized to upper case; identifiers keep their
+spelling.  Only the lexemes the grammar needs are recognized: integers
+(optionally signed, with ``_`` separators), identifiers (dotted names
+are produced as separate tokens), parentheses, commas, semicolons,
+``*`` and the comparison operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .errors import TokenizeError
+
+KEYWORDS = {
+    "AND",
+    "AVG",
+    "BETWEEN",
+    "BY",
+    "COUNT",
+    "CREATE",
+    "DELETE",
+    "EXPLAIN",
+    "FLUSH",
+    "FROM",
+    "INSERT",
+    "INTO",
+    "MAX",
+    "MIN",
+    "ORDER",
+    "SELECT",
+    "SET",
+    "SHOW",
+    "SUM",
+    "TABLE",
+    "UPDATE",
+    "UPDATES",
+    "VALUES",
+    "VIEWS",
+    "WHERE",
+}
+
+#: Aggregate function keywords (subset of :data:`KEYWORDS`).
+AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+class TokenType(Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source offset."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Whether this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        """Whether this token is one of the given symbols."""
+        return self.type is TokenType.SYMBOL and self.value in symbols
+
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "(", ")", ",", ";", "*", "=", "<", ">", ".")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; the result always ends with an END token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # line comment
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+
+        symbol = next((s for s in _SYMBOLS if text.startswith(s, i)), None)
+        if symbol is not None:
+            tokens.append(Token(TokenType.SYMBOL, symbol, i))
+            i += len(symbol)
+            continue
+
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit()
+        ):
+            start = i
+            i += 1
+            while i < n and (text[i].isdigit() or text[i] == "_"):
+                i += 1
+            literal = text[start:i].replace("_", "")
+            tokens.append(Token(TokenType.NUMBER, literal, start))
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+
+        raise TokenizeError(f"unexpected character {ch!r}", i)
+
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

@@ -1,0 +1,107 @@
+"""A bidirectional map, standing in for the Boost ``bimap``.
+
+Section 2.5 of the paper materializes the parsed ``/proc/PID/maps``
+mappings page-wise in a Boost bimap so that the update algorithm can ask
+both "which physical page backs this virtual page?" and "which virtual
+pages map this physical page?".  This module provides the same container
+from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+from .errors import BimapError
+
+L = TypeVar("L", bound=Hashable)
+R = TypeVar("R", bound=Hashable)
+
+
+class BiMap(Generic[L, R]):
+    """A one-to-one bidirectional mapping between two key domains.
+
+    Both directions are dictionary-backed, so lookups are O(1).  Inserting
+    a pair whose left *or* right key is already present raises
+    :class:`BimapError` unless ``overwrite=True`` is passed, in which case
+    the conflicting pair(s) are removed first — matching the semantics the
+    update algorithm needs when a virtual page is re-pointed.
+    """
+
+    def __init__(self) -> None:
+        self._left: dict[L, R] = {}
+        self._right: dict[R, L] = {}
+
+    def __len__(self) -> int:
+        return len(self._left)
+
+    def __contains__(self, left: L) -> bool:
+        return left in self._left
+
+    def __iter__(self) -> Iterator[tuple[L, R]]:
+        return iter(self._left.items())
+
+    def insert(self, left: L, right: R, overwrite: bool = False) -> None:
+        """Insert the pair ``(left, right)``.
+
+        Raises :class:`BimapError` if either side is already mapped and
+        ``overwrite`` is false.
+        """
+        left_taken = left in self._left
+        right_taken = right in self._right
+        if (left_taken or right_taken) and not overwrite:
+            raise BimapError(
+                f"pair ({left!r}, {right!r}) conflicts with existing entries"
+            )
+        if left_taken:
+            self.remove_left(left)
+        # Re-check: removing the left pair may already have freed the
+        # right key (re-inserting an identical pair must be a no-op).
+        if right in self._right:
+            self.remove_right(right)
+        self._left[left] = right
+        self._right[right] = left
+
+    def get_left(self, left: L, default: R | None = None) -> R | None:
+        """Right value paired with ``left``, or ``default``."""
+        return self._left.get(left, default)
+
+    def get_right(self, right: R, default: L | None = None) -> L | None:
+        """Left value paired with ``right``, or ``default``."""
+        return self._right.get(right, default)
+
+    def has_left(self, left: L) -> bool:
+        """Whether ``left`` participates in any pair."""
+        return left in self._left
+
+    def has_right(self, right: R) -> bool:
+        """Whether ``right`` participates in any pair."""
+        return right in self._right
+
+    def remove_left(self, left: L) -> R:
+        """Remove the pair keyed by ``left``; returns the right value."""
+        if left not in self._left:
+            raise BimapError(f"left key {left!r} not present")
+        right = self._left.pop(left)
+        del self._right[right]
+        return right
+
+    def remove_right(self, right: R) -> L:
+        """Remove the pair keyed by ``right``; returns the left value."""
+        if right not in self._right:
+            raise BimapError(f"right key {right!r} not present")
+        left = self._right.pop(right)
+        del self._left[left]
+        return left
+
+    def lefts(self) -> Iterator[L]:
+        """Iterate over all left keys."""
+        return iter(self._left)
+
+    def rights(self) -> Iterator[R]:
+        """Iterate over all right keys."""
+        return iter(self._right)
+
+    def clear(self) -> None:
+        """Remove all pairs."""
+        self._left.clear()
+        self._right.clear()

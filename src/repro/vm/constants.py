@@ -1,0 +1,29 @@
+"""Constants describing the simulated machine's memory geometry.
+
+The paper operates purely on 4 KiB small pages holding 8-byte integers,
+with an 8-byte ``pageID`` embedded at the beginning of each physical page
+(Section 2 of the paper).  All layout arithmetic in the repository derives
+from the constants defined here.
+"""
+
+#: Size of one page in bytes (the paper uses 4 KiB small pages only).
+PAGE_SIZE = 4096
+
+#: Width of one stored value in bytes (the paper stores 8 B integers).
+VALUE_WIDTH = 8
+
+#: Bytes reserved at the start of every physical page for the embedded
+#: pageID that identifies which tuples the page holds (Section 2).
+PAGE_HEADER_BYTES = 8
+
+#: Number of data values that fit on one page next to the pageID header.
+VALUES_PER_PAGE = (PAGE_SIZE - PAGE_HEADER_BYTES) // VALUE_WIDTH
+
+#: Largest storable value.  The paper uses unsigned 64-bit integers up to
+#: ``2**64 - 1``; we standardize on signed 64-bit storage (numpy int64)
+#: and scale the two experiments that exceed this range accordingly
+#: (documented in DESIGN.md).
+MAX_VALUE = 2**63 - 1
+
+#: Smallest storable value.
+MIN_VALUE = -(2**63)

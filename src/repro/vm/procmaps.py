@@ -1,0 +1,213 @@
+"""Rendering and parsing of ``/proc/PID/maps`` (Section 2.5).
+
+The update algorithm needs the current virtual→physical mapping of every
+view.  The paper obtains it by parsing the kernel's ``/proc/PID/maps``
+virtual file once per update batch and materializing it page-wise in a
+bimap.  This module reproduces both directions against the simulated
+address space:
+
+* :func:`render_maps` prints an :class:`~repro.vm.address_space.AddressSpace`
+  in the exact kernel text format (one line per VMA);
+* :func:`parse_maps` parses that format (kernel or simulated) back into
+  :class:`MapsEntry` records;
+* :class:`MappingSnapshot` is the page-wise materialization used while a
+  batch of updates is applied, maintained from user space exactly as the
+  paper describes.
+
+Parse cost is charged per *line*, which is what makes clustered data
+cheaper to parse than uniform data in Figure 7: clustered views map long
+runs of consecutive physical pages, the kernel merges those runs into few
+VMAs, and the maps file shrinks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .address_space import AddressSpace
+from .constants import PAGE_SIZE
+from .cost import MAIN_LANE, CostModel
+from .errors import ProcMapsError
+
+#: Device string rendered for main-memory-file mappings (tmpfs).
+_FILE_DEV = "03:0c"
+
+#: Device string rendered for anonymous mappings.
+_ANON_DEV = "00:00"
+
+_LINE_RE = re.compile(
+    r"^(?P<start>[0-9a-f]+)-(?P<end>[0-9a-f]+)\s+"
+    r"(?P<perms>[rwxps-]{4})\s+"
+    r"(?P<offset>[0-9a-f]+)\s+"
+    r"(?P<dev>[0-9a-f]+:[0-9a-f]+)\s+"
+    r"(?P<inode>\d+)"
+    r"(?:\s+(?P<path>\S.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class MapsEntry:
+    """One parsed line of a maps file, in page units."""
+
+    start_vpn: int
+    npages: int
+    perms: str
+    file_page: int
+    dev: str
+    inode: int
+    pathname: str
+
+    @property
+    def anonymous(self) -> bool:
+        """Whether the line describes an anonymous mapping."""
+        return not self.pathname
+
+    @property
+    def end_vpn(self) -> int:
+        """One past the last virtual page."""
+        return self.start_vpn + self.npages
+
+
+def render_maps(address_space: AddressSpace, shm_prefix: str = "/dev/shm/") -> str:
+    """Render the address space in ``/proc/PID/maps`` text format."""
+    lines = []
+    for vma in address_space.vmas():
+        start = vma.start * PAGE_SIZE
+        end = vma.end * PAGE_SIZE
+        perm_bits = "".join(c if c in vma.perms else "-" for c in "rwx")
+        perms = perm_bits + ("s" if vma.shared else "p")
+        if vma.file is not None:
+            offset = vma.file_page * PAGE_SIZE
+            dev, inode = _FILE_DEV, vma.file.inode
+            path = f"{shm_prefix}{vma.file.name}"
+            lines.append(
+                f"{start:08x}-{end:08x} {perms} {offset:08x} {dev} {inode} {path}"
+            )
+        else:
+            lines.append(
+                f"{start:08x}-{end:08x} {perms} {0:08x} {_ANON_DEV} 0"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_maps(
+    text: str, cost: CostModel | None = None, lane: str = MAIN_LANE
+) -> list[MapsEntry]:
+    """Parse maps-file text into :class:`MapsEntry` records.
+
+    Accepts both the simulated renderer's output and real ``/proc`` maps
+    content.  Charges one line-parse cost per line if ``cost`` is given.
+    """
+    entries = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    for line in lines:
+        match = _LINE_RE.match(line.strip())
+        if match is None:
+            raise ProcMapsError(f"unparsable maps line: {line!r}")
+        start = int(match["start"], 16)
+        end = int(match["end"], 16)
+        offset = int(match["offset"], 16)
+        if start % PAGE_SIZE or end % PAGE_SIZE or offset % PAGE_SIZE:
+            raise ProcMapsError(f"addresses not page aligned: {line!r}")
+        if end <= start:
+            raise ProcMapsError(f"empty or inverted range: {line!r}")
+        entries.append(
+            MapsEntry(
+                start_vpn=start // PAGE_SIZE,
+                npages=(end - start) // PAGE_SIZE,
+                perms=match["perms"],
+                file_page=offset // PAGE_SIZE,
+                dev=match["dev"],
+                inode=int(match["inode"]),
+                pathname=match["path"] or "",
+            )
+        )
+    if cost is not None:
+        cost.maps_parse(len(lines), lane)
+    return entries
+
+
+#: A physical page identity inside a snapshot: (file pathname, file page).
+PhysPage = tuple[str, int]
+
+
+class MappingSnapshot:
+    """Page-wise virtual↔physical mapping built from parsed maps entries.
+
+    Forward direction (virtual page → physical page) is one-to-one;
+    the reverse direction is one-to-many because overlapping views share
+    physical pages.  The snapshot is maintained from user space while a
+    batch of updates is applied (pages mapped into / removed from views)
+    and discarded afterwards, exactly as Section 2.5 describes.
+    """
+
+    def __init__(
+        self,
+        entries: list[MapsEntry] | None = None,
+        cost: CostModel | None = None,
+        lane: str = MAIN_LANE,
+        file_filter: str | None = None,
+    ) -> None:
+        self._forward: dict[int, PhysPage] = {}
+        self._reverse: dict[PhysPage, set[int]] = {}
+        self._cost = cost
+        for entry in entries or []:
+            if entry.anonymous:
+                continue
+            if file_filter is not None and entry.pathname != file_filter:
+                continue
+            for i in range(entry.npages):
+                self.map(entry.start_vpn + i, (entry.pathname, entry.file_page + i), lane)
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def map(self, vpn: int, phys: PhysPage, lane: str = MAIN_LANE) -> None:
+        """Record that virtual page ``vpn`` now maps ``phys``."""
+        self.unmap(vpn, lane=lane, charge=False)
+        self._forward[vpn] = phys
+        self._reverse.setdefault(phys, set()).add(vpn)
+        if self._cost is not None:
+            self._cost.bimap_op(1, lane)
+
+    def unmap(self, vpn: int, lane: str = MAIN_LANE, charge: bool = True) -> None:
+        """Forget the mapping of virtual page ``vpn`` (no-op if absent)."""
+        phys = self._forward.pop(vpn, None)
+        if phys is not None:
+            virtuals = self._reverse.get(phys)
+            if virtuals is not None:
+                virtuals.discard(vpn)
+                if not virtuals:
+                    del self._reverse[phys]
+        if charge and self._cost is not None:
+            self._cost.bimap_op(1, lane)
+
+    def physical_of(self, vpn: int) -> PhysPage | None:
+        """Physical page behind virtual page ``vpn``, if known."""
+        if self._cost is not None:
+            self._cost.bimap_op(1)
+        return self._forward.get(vpn)
+
+    def virtuals_of(self, phys: PhysPage) -> frozenset[int]:
+        """All virtual pages currently mapping ``phys``."""
+        if self._cost is not None:
+            self._cost.bimap_op(1)
+        return frozenset(self._reverse.get(phys, ()))
+
+
+def snapshot_address_space(
+    address_space: AddressSpace,
+    cost: CostModel | None = None,
+    lane: str = MAIN_LANE,
+    file_filter: str | None = None,
+    shm_prefix: str = "/dev/shm/",
+) -> MappingSnapshot:
+    """Render, parse and materialize one address space in one step.
+
+    This is the "parse the file only once before applying a batch of
+    updates" operation from Section 2.5.
+    """
+    text = render_maps(address_space, shm_prefix=shm_prefix)
+    entries = parse_maps(text, cost=cost, lane=lane)
+    return MappingSnapshot(entries, cost=cost, lane=lane, file_filter=file_filter)

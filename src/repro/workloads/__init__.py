@@ -1,0 +1,49 @@
+"""Workload generation: data distributions and query sequences."""
+
+from .distributions import (
+    DEFAULT_DOMAIN,
+    DISTRIBUTIONS,
+    SINE_PERIOD_PAGES,
+    SPARSE_ZERO_FRACTION,
+    generate,
+    linear,
+    per_page_min_max,
+    sine,
+    sparse,
+    uniform,
+    zipf,
+)
+from .queries import (
+    QuerySequence,
+    RangeQuery,
+    fixed_selectivity,
+    point_queries,
+    selectivity_sweep,
+    shifting_hotspot,
+)
+from .trace import RecordingLayer, ReplayResult, TraceOp, WorkloadTrace, replay
+
+__all__ = [
+    "DEFAULT_DOMAIN",
+    "DISTRIBUTIONS",
+    "fixed_selectivity",
+    "generate",
+    "linear",
+    "per_page_min_max",
+    "point_queries",
+    "QuerySequence",
+    "RangeQuery",
+    "RecordingLayer",
+    "replay",
+    "ReplayResult",
+    "selectivity_sweep",
+    "shifting_hotspot",
+    "sine",
+    "SINE_PERIOD_PAGES",
+    "sparse",
+    "SPARSE_ZERO_FRACTION",
+    "TraceOp",
+    "WorkloadTrace",
+    "uniform",
+    "zipf",
+]

@@ -1,0 +1,181 @@
+"""The paper's data distributions (Section 3, Figure 2).
+
+Four generators, each producing one value per row (``num_pages *
+VALUES_PER_PAGE`` values) over a configurable value domain:
+
+* **uniform** — i.i.d. uniform integers; the unclustered worst case.
+* **sine** — per-page value levels follow a sine wave cycling every 100
+  pages, as in periodic sensor readings.
+* **linear** — per-page value levels grow linearly with the pageID, as
+  in an (almost) sorted time series.
+* **sparse** — 90 % of the pages are filled with zeros; the remaining
+  pages carry uniform values (bursty sensors).
+
+All generators are deterministic given a seed.  The clustered
+distributions add a small jitter around the page level so that pages
+hold value *ranges*, not constants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..vm.constants import VALUES_PER_PAGE
+
+#: Default value domain used by most experiments: [0, 100M].
+DEFAULT_DOMAIN = (0, 100_000_000)
+
+#: Sine period from the paper: "the sine distribution cycles every 100
+#: pages".
+SINE_PERIOD_PAGES = 100
+
+#: Zero-page fraction from the paper: "for the sparse distribution, 90%
+#: of the pages are filled with zeros".
+SPARSE_ZERO_FRACTION = 0.9
+
+
+def _check_domain(lo: int, hi: int) -> None:
+    if lo >= hi:
+        raise ValueError(f"empty value domain [{lo}, {hi}]")
+
+
+def uniform(
+    num_pages: int,
+    lo: int = DEFAULT_DOMAIN[0],
+    hi: int = DEFAULT_DOMAIN[1],
+    seed: int = 0,
+) -> np.ndarray:
+    """I.i.d. uniform integers in ``[lo, hi]``."""
+    _check_domain(lo, hi)
+    rng = np.random.default_rng(seed)
+    return rng.integers(lo, hi, endpoint=True, size=num_pages * VALUES_PER_PAGE)
+
+
+def _page_levels_to_values(
+    levels: np.ndarray,
+    lo: int,
+    hi: int,
+    jitter_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Expand per-page levels to per-value data with jitter, clipped."""
+    num_pages = levels.size
+    jitter_span = max(int((hi - lo) * jitter_fraction), 1)
+    jitter = rng.integers(
+        -jitter_span, jitter_span, endpoint=True, size=(num_pages, VALUES_PER_PAGE)
+    )
+    values = levels[:, None] + jitter
+    return np.clip(values, lo, hi).reshape(-1)
+
+
+def sine(
+    num_pages: int,
+    lo: int = DEFAULT_DOMAIN[0],
+    hi: int = DEFAULT_DOMAIN[1],
+    period_pages: int = SINE_PERIOD_PAGES,
+    jitter_fraction: float = 0.005,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sine-wave clustered values cycling every ``period_pages`` pages."""
+    _check_domain(lo, hi)
+    if period_pages <= 0:
+        raise ValueError("period must be positive")
+    rng = np.random.default_rng(seed)
+    pages = np.arange(num_pages)
+    phase = 2.0 * np.pi * pages / period_pages
+    levels = (lo + (hi - lo) * 0.5 * (1.0 + np.sin(phase))).astype(np.int64)
+    return _page_levels_to_values(levels, lo, hi, jitter_fraction, rng)
+
+
+def linear(
+    num_pages: int,
+    lo: int = DEFAULT_DOMAIN[0],
+    hi: int = DEFAULT_DOMAIN[1],
+    jitter_fraction: float = 0.005,
+    seed: int = 0,
+) -> np.ndarray:
+    """Linearly growing per-page value levels (nearly sorted data)."""
+    _check_domain(lo, hi)
+    rng = np.random.default_rng(seed)
+    pages = np.arange(num_pages)
+    span = max(num_pages - 1, 1)
+    levels = (lo + (hi - lo) * pages / span).astype(np.int64)
+    return _page_levels_to_values(levels, lo, hi, jitter_fraction, rng)
+
+
+def sparse(
+    num_pages: int,
+    lo: int = DEFAULT_DOMAIN[0],
+    hi: int = DEFAULT_DOMAIN[1],
+    zero_fraction: float = SPARSE_ZERO_FRACTION,
+    seed: int = 0,
+) -> np.ndarray:
+    """Mostly-zero pages with periodic bursts of uniform values.
+
+    Every ``round(1 / (1 - zero_fraction))``-th page carries data; all
+    other pages are filled with zeros, reproducing the paper's "90% of
+    the pages are filled with zeros".
+    """
+    _check_domain(lo, hi)
+    if not 0.0 < zero_fraction < 1.0:
+        raise ValueError("zero_fraction must lie strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    values = np.zeros((num_pages, VALUES_PER_PAGE), dtype=np.int64)
+    stride = max(int(round(1.0 / (1.0 - zero_fraction))), 1)
+    data_pages = np.arange(0, num_pages, stride)
+    values[data_pages] = rng.integers(
+        lo, hi, endpoint=True, size=(data_pages.size, VALUES_PER_PAGE)
+    )
+    return values.reshape(-1)
+
+
+def zipf(
+    num_pages: int,
+    lo: int = DEFAULT_DOMAIN[0],
+    hi: int = DEFAULT_DOMAIN[1],
+    alpha: float = 1.3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Zipf-skewed values (extension): most values crowd near ``lo``.
+
+    Models skewed attribute domains (ids, counts) where a small value
+    region is hot — adaptively created views over that region index few
+    pages and pay off quickly.
+    """
+    _check_domain(lo, hi)
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1")
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(alpha, size=num_pages * VALUES_PER_PAGE).astype(np.float64)
+    # map ranks (1, 2, 3, ...) logarithmically into the value domain
+    scaled = np.log(ranks) / np.log(ranks.max() + 1.0)
+    return (lo + scaled * (hi - lo)).astype(np.int64)
+
+
+#: Generator registry used by the benchmark harness and examples.
+DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform,
+    "sine": sine,
+    "linear": linear,
+    "sparse": sparse,
+    "zipf": zipf,
+}
+
+
+def generate(name: str, num_pages: int, **kwargs: object) -> np.ndarray:
+    """Generate a named distribution (see :data:`DISTRIBUTIONS`)."""
+    if name not in DISTRIBUTIONS:
+        raise KeyError(
+            f"unknown distribution {name!r}; choose from {sorted(DISTRIBUTIONS)}"
+        )
+    return DISTRIBUTIONS[name](num_pages, **kwargs)
+
+
+def per_page_min_max(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-page min and max of a generated array (Figure 2's y axis)."""
+    if values.size % VALUES_PER_PAGE:
+        raise ValueError("value count is not a whole number of pages")
+    paged = values.reshape(-1, VALUES_PER_PAGE)
+    return paged.min(axis=1), paged.max(axis=1)

@@ -1,0 +1,176 @@
+"""Query sequence generators (Sections 3.2's workloads).
+
+Two sequence shapes drive the adaptive experiments:
+
+* :func:`selectivity_sweep` — Figure 4's sequence: 250 range queries
+  whose selected value-range width steps from 50M down to 5000, shuffled
+  before firing;
+* :func:`fixed_selectivity` — Figure 5's sequence: every query selects
+  the same fraction of the value domain at a random position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .distributions import DEFAULT_DOMAIN
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One range predicate: ``value BETWEEN lo AND hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"inverted query range [{self.lo}, {self.hi}]")
+
+    @property
+    def width(self) -> int:
+        """Selected value-range width."""
+        return self.hi - self.lo
+
+
+class QuerySequence:
+    """An ordered, replayable sequence of range queries."""
+
+    def __init__(self, queries: list[RangeQuery]) -> None:
+        self.queries = list(queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[RangeQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, idx: int) -> RangeQuery:
+        return self.queries[idx]
+
+
+def selectivity_sweep(
+    num_queries: int = 250,
+    width_start: int = 50_000_000,
+    width_end: int = 5_000,
+    domain: tuple[int, int] = DEFAULT_DOMAIN,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> QuerySequence:
+    """Figure 4's query sequence.
+
+    Widths step geometrically from ``width_start`` (low selectivity) down
+    to ``width_end`` (high selectivity); each query's lower bound is
+    drawn uniformly so the range fits the domain.  The sequence is
+    shuffled before firing, as in the paper.
+    """
+    if num_queries <= 0:
+        raise ValueError("need at least one query")
+    if not 0 < width_end <= width_start:
+        raise ValueError("widths must satisfy 0 < width_end <= width_start")
+    lo_dom, hi_dom = domain
+    if width_start > hi_dom - lo_dom:
+        raise ValueError("start width exceeds the value domain")
+    rng = np.random.default_rng(seed)
+    widths = np.geomspace(width_start, width_end, num_queries).astype(np.int64)
+    lows = np.array(
+        [rng.integers(lo_dom, hi_dom - int(w), endpoint=True) for w in widths],
+        dtype=np.int64,
+    )
+    queries = [
+        RangeQuery(int(lo), int(lo + w)) for lo, w in zip(lows.tolist(), widths.tolist())
+    ]
+    if shuffle:
+        order = rng.permutation(num_queries)
+        queries = [queries[i] for i in order.tolist()]
+    return QuerySequence(queries)
+
+
+def fixed_selectivity(
+    selectivity: float,
+    num_queries: int = 250,
+    domain: tuple[int, int] = DEFAULT_DOMAIN,
+    seed: int = 0,
+) -> QuerySequence:
+    """Figure 5's query sequence: constant selectivity, random position.
+
+    ``selectivity`` is the selected fraction of the value domain (the
+    paper uses 0.01 and 0.10 on the sine distribution).
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError("selectivity must lie in (0, 1]")
+    if num_queries <= 0:
+        raise ValueError("need at least one query")
+    lo_dom, hi_dom = domain
+    width = max(int((hi_dom - lo_dom) * selectivity), 1)
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(num_queries):
+        lo = int(rng.integers(lo_dom, hi_dom - width, endpoint=True))
+        queries.append(RangeQuery(lo, lo + width))
+    return QuerySequence(queries)
+
+
+def shifting_hotspot(
+    num_queries: int = 250,
+    selectivity: float = 0.01,
+    num_phases: int = 5,
+    hotspot_fraction: float = 0.2,
+    domain: tuple[int, int] = DEFAULT_DOMAIN,
+    seed: int = 0,
+) -> QuerySequence:
+    """A drifting workload (extension): fixed-selectivity queries whose
+    positions concentrate in a hotspot window that moves across the
+    value domain in ``num_phases`` steps.
+
+    Stress-tests adaptivity: views built for an early hotspot are
+    useless for later ones, and once the view limit is reached the
+    layer cannot adapt any further.
+    """
+    if not 0.0 < selectivity <= hotspot_fraction <= 1.0:
+        raise ValueError(
+            "need 0 < selectivity <= hotspot_fraction <= 1 "
+            f"(got {selectivity}, {hotspot_fraction})"
+        )
+    if num_queries <= 0 or num_phases <= 0:
+        raise ValueError("need positive query and phase counts")
+    lo_dom, hi_dom = domain
+    span = hi_dom - lo_dom
+    width = max(int(span * selectivity), 1)
+    hotspot_width = max(int(span * hotspot_fraction), width)
+    rng = np.random.default_rng(seed)
+    queries = []
+    per_phase = (num_queries + num_phases - 1) // num_phases
+    for phase in range(num_phases):
+        denominator = max(num_phases - 1, 1)
+        hotspot_lo = lo_dom + (span - hotspot_width) * phase // denominator
+        for _ in range(per_phase):
+            if len(queries) == num_queries:
+                break
+            lo = int(
+                rng.integers(
+                    hotspot_lo, hotspot_lo + hotspot_width - width, endpoint=True
+                )
+            )
+            queries.append(RangeQuery(lo, lo + width))
+    return QuerySequence(queries)
+
+
+def point_queries(
+    num_queries: int,
+    domain: tuple[int, int] = DEFAULT_DOMAIN,
+    seed: int = 0,
+) -> QuerySequence:
+    """Degenerate single-value ranges (edge-case workload for tests)."""
+    lo_dom, hi_dom = domain
+    rng = np.random.default_rng(seed)
+    return QuerySequence(
+        [
+            RangeQuery(v, v)
+            for v in rng.integers(lo_dom, hi_dom, endpoint=True, size=num_queries)
+            .tolist()
+        ]
+    )

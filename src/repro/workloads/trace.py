@@ -1,0 +1,168 @@
+"""Workload traces: record, save, load and replay query/update streams.
+
+A trace is an ordered list of operations (range queries, point updates,
+flushes) against one column.  Traces make workloads portable and
+repeatable: capture one from a live session, save it as JSON, replay it
+later against any configuration and compare the collected statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from ..core.adaptive import AdaptiveStorageLayer
+from ..core.facade import AdaptiveDatabase
+from ..core.stats import QueryStats
+
+#: Trace file format version.
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded operation."""
+
+    #: "query" (lo, hi) / "update" (row, value) / "flush".
+    kind: str
+    lo: int = 0
+    hi: int = 0
+    row: int = 0
+    value: int = 0
+
+    def to_dict(self) -> dict:
+        """Serialize to the JSON trace format."""
+        if self.kind == "query":
+            return {"kind": "query", "lo": self.lo, "hi": self.hi}
+        if self.kind == "update":
+            return {"kind": "update", "row": self.row, "value": self.value}
+        if self.kind == "flush":
+            return {"kind": "flush"}
+        raise ValueError(f"unknown trace op kind: {self.kind!r}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceOp":
+        kind = data.get("kind")
+        if kind == "query":
+            return cls(kind="query", lo=int(data["lo"]), hi=int(data["hi"]))
+        if kind == "update":
+            return cls(kind="update", row=int(data["row"]), value=int(data["value"]))
+        if kind == "flush":
+            return cls(kind="flush")
+        raise ValueError(f"unknown trace op kind: {kind!r}")
+
+
+class WorkloadTrace:
+    """An ordered, serializable operation stream for one column."""
+
+    def __init__(self, ops: list[TraceOp] | None = None) -> None:
+        self.ops: list[TraceOp] = list(ops or [])
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    # -- recording --------------------------------------------------------
+
+    def record_query(self, lo: int, hi: int) -> None:
+        """Append a range query."""
+        self.ops.append(TraceOp(kind="query", lo=lo, hi=hi))
+
+    def record_update(self, row: int, value: int) -> None:
+        """Append a point update."""
+        self.ops.append(TraceOp(kind="update", row=row, value=value))
+
+    def record_flush(self) -> None:
+        """Append a batch view realignment."""
+        self.ops.append(TraceOp(kind="flush"))
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the trace as JSON."""
+        path = pathlib.Path(path)
+        path.write_text(
+            json.dumps(
+                {
+                    "version": TRACE_VERSION,
+                    "ops": [op.to_dict() for op in self.ops],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "WorkloadTrace":
+        """Read a trace back from JSON."""
+        data = json.loads(pathlib.Path(path).read_text())
+        if data.get("version") != TRACE_VERSION:
+            raise ValueError(f"unsupported trace version: {data.get('version')}")
+        return cls([TraceOp.from_dict(op) for op in data["ops"]])
+
+
+@dataclass
+class ReplayResult:
+    """Statistics collected while replaying a trace."""
+
+    query_stats: list[QueryStats] = field(default_factory=list)
+    total_rows: int = 0
+    updates_applied: int = 0
+    flushes: int = 0
+    simulated_seconds: float = 0.0
+
+
+def replay(
+    trace: WorkloadTrace,
+    db: AdaptiveDatabase,
+    table_name: str,
+    column_name: str,
+) -> ReplayResult:
+    """Replay a trace against one column of a database."""
+    result = ReplayResult()
+    cost = db.cost
+    with cost.region() as region:
+        for op in trace:
+            if op.kind == "query":
+                query_result = db.query(table_name, column_name, op.lo, op.hi)
+                result.query_stats.append(query_result.stats)
+                result.total_rows += len(query_result)
+            elif op.kind == "update":
+                db.update(table_name, column_name, op.row, op.value)
+                result.updates_applied += 1
+            else:
+                db.flush_updates(table_name, column_name)
+                result.flushes += 1
+    result.simulated_seconds = region.lane_ns("main") / 1e9
+    return result
+
+
+class RecordingLayer:
+    """Wraps an :class:`AdaptiveStorageLayer` and records every call.
+
+    Drop-in where a layer is used directly; the captured trace replays
+    the same operation stream elsewhere.
+    """
+
+    def __init__(self, layer: AdaptiveStorageLayer) -> None:
+        self.layer = layer
+        self.trace = WorkloadTrace()
+
+    def answer_query(self, lo: int, hi: int):
+        """Record and forward a query."""
+        self.trace.record_query(lo, hi)
+        return self.layer.answer_query(lo, hi)
+
+    def write(self, row: int, value: int) -> int:
+        """Record and forward a point update (through the column)."""
+        self.trace.record_update(row, value)
+        return self.layer.column.write(row, value)
+
+    def apply_updates(self, batch):
+        """Record a flush and forward the batch alignment."""
+        self.trace.record_flush()
+        return self.layer.apply_updates(batch)

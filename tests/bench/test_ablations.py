@@ -1,0 +1,136 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_advisor_ablation,
+    run_autoflush_ablation,
+    run_drift_ablation,
+    run_max_views_ablation,
+    run_routing_ablation,
+    run_tolerance_ablation,
+)
+
+
+class TestToleranceAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_tolerance_ablation(
+            tolerances=(0, 64), num_pages=512, num_queries=40
+        )
+
+    def test_sweep_shape(self, result):
+        assert result.name == "tolerance"
+        assert [p.label for p in result.points] == ["d=r=0", "d=r=64"]
+
+    def test_higher_tolerance_never_keeps_more_views(self, result):
+        strict, loose = result.points
+        assert loose.views_created <= strict.views_created
+
+    def test_all_points_ran_queries(self, result):
+        for point in result.points:
+            assert point.accumulated_s > 0
+            assert point.total_pages_scanned > 0
+
+
+class TestMaxViewsAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_max_views_ablation(limits=(0, 4, 64), num_pages=512, num_queries=40)
+
+    def test_limits_respected(self, result):
+        for point, limit in zip(result.points, (0, 4, 64)):
+            assert point.views_created <= limit
+
+    def test_zero_views_means_pure_full_scans(self, result):
+        zero = result.points[0]
+        assert zero.views_created == 0
+
+    def test_more_views_scan_fewer_pages(self, result):
+        zero, _, many = result.points
+        assert many.total_pages_scanned < zero.total_pages_scanned
+
+    def test_more_views_is_faster(self, result):
+        zero, _, many = result.points
+        assert many.accumulated_s < zero.accumulated_s
+
+
+class TestAutoflushAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_autoflush_ablation(
+            thresholds=(1, 64, 1024), num_pages=512, num_updates=400
+        )
+
+    def test_batching_amortizes_parsing(self, result):
+        per_update = result.points[0]
+        batched = result.points[-1]
+        assert batched.accumulated_s < per_update.accumulated_s / 3
+
+    def test_monotone_improvement(self, result):
+        times = [p.accumulated_s for p in result.points]
+        assert times == sorted(times, reverse=True)
+
+
+class TestDriftAblation:
+    def test_generous_limit_wins_under_drift(self):
+        result = run_drift_ablation(
+            limits=(5, 100), num_pages=512, num_queries=60
+        )
+        tight, loose, tight_lru = result.points
+        assert tight.label == "max=5"
+        assert loose.label == "max=100"
+        assert tight_lru.label == "max=5+lru"
+        assert loose.accumulated_s <= tight.accumulated_s
+        assert loose.views_created >= tight.views_created
+        # the LRU extension rescues the tight limit
+        assert tight_lru.accumulated_s <= tight.accumulated_s
+
+
+class TestAdvisorAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_advisor_ablation(num_pages=512, num_queries=60)
+
+    def test_three_strategies(self, result):
+        assert [p.label for p in result.points] == [
+            "full_scan", "adaptive", "advised_static",
+        ]
+
+    def test_views_beat_full_scans_on_hotspots(self, result):
+        by_label = {p.label: p for p in result.points}
+        assert (
+            by_label["adaptive"].accumulated_s
+            < by_label["full_scan"].accumulated_s
+        )
+        assert (
+            by_label["advised_static"].accumulated_s
+            < by_label["full_scan"].accumulated_s
+        )
+
+    def test_adaptive_is_competitive_with_perfect_knowledge(self, result):
+        """Online adaptation lands within 3x of the offline optimum
+        despite having no workload foresight."""
+        by_label = {p.label: p for p in result.points}
+        assert (
+            by_label["adaptive"].accumulated_s
+            < 3 * by_label["advised_static"].accumulated_s
+        )
+
+
+class TestRoutingAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_routing_ablation(num_pages=512, num_queries=40)
+
+    def test_all_modes_ran(self, result):
+        assert [p.label for p in result.points] == ["single", "multi", "multi_cost"]
+        for point in result.points:
+            assert point.accumulated_s > 0
+
+    def test_cost_based_scans_no_more_than_naive_multi(self, result):
+        by_label = {p.label: p for p in result.points}
+        assert (
+            by_label["multi_cost"].total_pages_scanned
+            <= by_label["multi"].total_pages_scanned
+        )

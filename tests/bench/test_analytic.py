@@ -1,0 +1,128 @@
+"""The analytic model must agree with the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.bench.analytic import (
+    expected_runs,
+    fig3_query_ns,
+    full_scan_ns,
+    page_qualification_probability,
+    paper_scale_estimates,
+    render_paper_scale,
+    uniform_creation_ns,
+)
+from repro.bench.fig3 import run_fig3
+from repro.bench.fig6 import run_fig6
+from repro.bench.harness import fresh_column
+from repro.baselines.full_scan import FullScanBaseline
+from repro.vm.cost import CostParameters
+from repro.workloads.distributions import uniform
+
+PARAMS = CostParameters()
+
+
+class TestFormulas:
+    def test_qualification_probability_bounds(self):
+        assert page_qualification_probability(0, 100) == 0.0
+        assert page_qualification_probability(100, 100) == 1.0
+        p = page_qualification_probability(12_500, 100_000_000, per_page=42)
+        assert p == pytest.approx(0.00524, rel=0.01)
+
+    def test_qualification_probability_validation(self):
+        with pytest.raises(ValueError):
+            page_qualification_probability(-1, 100)
+        with pytest.raises(ValueError):
+            page_qualification_probability(101, 100)
+
+    def test_expected_runs_limits(self):
+        assert expected_runs(100, 0.0) == 0.0
+        assert expected_runs(100, 1.0) == 1.0  # one giant run
+        assert expected_runs(0, 0.5) == 0.0
+        # maximum fragmentation around p = 0.5
+        assert expected_runs(100, 0.5) > expected_runs(100, 0.1)
+
+    def test_expected_runs_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        p, n = 0.3, 2_000
+        samples = []
+        for _ in range(50):
+            bits = rng.random(n) < p
+            runs = int(bits[0]) + int(np.sum(bits[1:] & ~bits[:-1]))
+            samples.append(runs)
+        assert np.mean(samples) == pytest.approx(expected_runs(n, p), rel=0.05)
+
+
+class TestAgainstSimulator:
+    def test_full_scan_prediction(self):
+        num_pages = 512
+        column = fresh_column(uniform(num_pages, seed=1))
+        baseline = FullScanBaseline(column)
+        _, _, stats = baseline.query(0, 10)
+        assert stats.sim_ns == pytest.approx(
+            full_scan_ns(PARAMS, num_pages), rel=0.01
+        )
+
+    def test_fig3_predictions_track_measurements(self):
+        result = run_fig3(num_pages=1024, ks=[50_000, 400_000], verify=False)
+        for k in result.ks:
+            for variant, point in result.by_k(k).items():
+                predicted_ms = (
+                    fig3_query_ns(PARAMS, variant, result.num_pages, k) / 1e6
+                )
+                # binomial expectation + update noise: generous band
+                assert point.query_ms == pytest.approx(predicted_ms, rel=0.25), (
+                    k,
+                    variant,
+                )
+
+    def test_fig3_unknown_variant(self):
+        with pytest.raises(ValueError):
+            fig3_query_ns(PARAMS, "btree", 100, 10)
+
+    def test_fig6_uniform_predictions(self):
+        result = run_fig6(num_pages=1024)
+        points = result.by_case("uniform")
+        cases = {
+            "none": dict(coalesce=False, background=False),
+            "coalesce": dict(coalesce=True, background=False),
+            "both": dict(coalesce=True, background=True),
+        }
+        for variant, kwargs in cases.items():
+            predicted_ms = (
+                uniform_creation_ns(PARAMS, result.num_pages, 100_000, **kwargs)
+                / 1e6
+            )
+            assert points[variant].elapsed_ms == pytest.approx(
+                predicted_ms, rel=0.15
+            ), variant
+
+
+class TestPaperScale:
+    def test_full_scan_matches_calibration_anchor(self):
+        estimates = {e.quantity: e for e in paper_scale_estimates()}
+        full = estimates["full scan of the 3.9 GB column"]
+        assert 200 <= full.predicted_ms <= 300  # the paper's ~234 ms
+
+    def test_accumulated_full_scans_in_papers_range(self):
+        estimates = {e.quantity: e for e in paper_scale_estimates()}
+        total = estimates["250 full-scan queries (Table 1, row 1)"]
+        assert 50_000 <= total.predicted_ms <= 90_000  # 58.6-88.2 s
+
+    def test_virtual_beats_zone_map_at_paper_scale(self):
+        estimates = {e.quantity: e for e in paper_scale_estimates()}
+        virtual = estimates["Fig. 3 virtual view query, k=12.5k (96 B records)"]
+        zone = estimates["Fig. 3 zone map query, k=12.5k (96 B records)"]
+        assert virtual.predicted_ms < zone.predicted_ms / 10
+
+    def test_fig6_optimizations_help_at_paper_scale(self):
+        estimates = {e.quantity: e for e in paper_scale_estimates()}
+        unoptimized = estimates["Fig. 6a unoptimized creation (uniform, v[0,100k])"]
+        optimized = estimates["Fig. 6a fully optimized creation"]
+        speedup = unoptimized.predicted_ms / optimized.predicted_ms
+        assert 1.3 <= speedup <= 3.0  # the paper reports 1.6x
+
+    def test_render(self):
+        text = render_paper_scale()
+        assert "Analytic paper-scale predictions" in text
+        assert "234 ms" in text

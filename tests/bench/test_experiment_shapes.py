@@ -1,0 +1,207 @@
+"""Shape tests: the experiments must reproduce the paper's findings.
+
+Each test runs the real experiment at a small scale and asserts the
+*qualitative* result the paper reports (see repro.bench.paper.SHAPES).
+Absolute numbers are not compared — the substrate is a simulator.
+"""
+
+import pytest
+
+from repro.bench.fig2 import run_fig2
+from repro.bench.fig3 import run_fig3
+from repro.bench.fig4 import run_fig4
+from repro.bench.fig5 import run_fig5
+from repro.bench.fig6 import run_fig6
+from repro.bench.fig7 import run_fig7
+from repro.bench.table1 import build_table1
+
+PAGES = 768  # small but structured enough for every shape
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(num_pages=PAGES, num_queries=80)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(num_pages=PAGES, num_queries=80)
+
+
+class TestFig2Shapes:
+    def test_profiles(self):
+        result = run_fig2(num_pages=400)
+        sine = result.profiles["sine"]
+        assert abs(sine.detected_period - 100) <= 2
+        sparse = result.profiles["sparse"]
+        assert sparse.zero_page_fraction == pytest.approx(0.9, abs=0.01)
+        linear = result.profiles["linear"]
+        assert linear.page_level_correlation > 0.99
+        uniform = result.profiles["uniform"]
+        assert abs(uniform.page_level_correlation) < 0.3
+
+
+class TestFig3Shapes:
+    @pytest.fixture(scope="class")
+    def fig3(self):
+        return run_fig3(num_pages=PAGES)
+
+    def test_zone_map_most_expensive_everywhere(self, fig3):
+        for k in fig3.ks:
+            points = fig3.by_k(k)
+            worst = max(points.values(), key=lambda p: p.query_ms)
+            assert worst.variant == "zone_map", f"k={k}"
+
+    def test_virtual_view_wins_everywhere(self, fig3):
+        for k in fig3.ks:
+            points = fig3.by_k(k)
+            best = min(points.values(), key=lambda p: p.query_ms)
+            assert best.variant == "virtual_view", f"k={k}"
+
+    def test_indexed_fraction_grows_with_k(self, fig3):
+        """Small k indexes a small page fraction, large k a large one.
+
+        Note: the paper states 0.52 % / 27.9 % of pages for k = 12.5k /
+        800k, which implies ~42 participating values per 4 KiB page; with
+        the paper's own 8 B-value layout (511 values/page) an i.i.d.
+        uniform column saturates faster.  We keep the stated layout and
+        assert the monotone shape (see EXPERIMENTS.md).
+        """
+        low = fig3.by_k(12_500)["bitmap"]
+        high = fig3.by_k(800_000)["bitmap"]
+        assert low.indexed_pages / fig3.num_pages < 0.15
+        assert high.indexed_pages / fig3.num_pages > 0.5
+        assert low.indexed_pages < high.indexed_pages
+
+    def test_cost_grows_with_k(self, fig3):
+        virtual = [fig3.by_k(k)["virtual_view"].query_ms for k in fig3.ks]
+        assert virtual[0] < virtual[-1]
+
+
+class TestFig4Shapes:
+    def test_adaptive_beats_full_scans_on_all_distributions(self, fig4):
+        for name, series in fig4.series.items():
+            assert series.speedup > 1.0, name
+
+    def test_warmup_then_improvement(self, fig4):
+        """Late phases must be cheaper than the first phase."""
+        for name, series in fig4.series.items():
+            phases = series.adaptive_phase_ms
+            assert min(phases[1:]) < phases[0], name
+
+    def test_views_get_created(self, fig4):
+        for name, series in fig4.series.items():
+            assert series.views_created > 3, name
+
+    def test_scanned_pages_collapse(self, fig4):
+        for name, series in fig4.series.items():
+            queries = series.adaptive.stats.queries
+            n = len(queries)
+            early = sum(q.pages_scanned for q in queries[: n // 4])
+            late = sum(q.pages_scanned for q in queries[-n // 4 :])
+            assert late < early, name
+
+
+class TestFig5Shapes:
+    def test_multi_view_mode_beats_full_scans(self, fig5):
+        for label, series in fig5.series.items():
+            assert series.speedup > 1.0, label
+
+    def test_multiple_views_used(self, fig5):
+        for label, series in fig5.series.items():
+            assert series.max_views_used >= 2, label
+
+    def test_view_limits_respected(self, fig5):
+        for label, series in fig5.series.items():
+            last = series.adaptive.stats.queries[-1]
+            assert last.partial_views_after <= series.max_views
+
+
+class TestTable1Shapes:
+    def test_adaptive_wins_every_column(self, fig4, fig5):
+        table = build_table1(fig4, fig5)
+        assert len(table.rows) == 5
+        for row in table.rows:
+            assert row.adaptive_s < row.full_scan_s, row.experiment
+
+    def test_best_factor_in_papers_ballpark(self, fig4, fig5):
+        """The paper reports up to 1.88x; we accept a generous band."""
+        table = build_table1(fig4, fig5)
+        assert 1.2 < table.best_factor < 8.0
+
+    def test_paper_numbers_attached(self, fig4, fig5):
+        table = build_table1(fig4, fig5)
+        row = next(r for r in table.rows if "sine_single" in r.experiment)
+        assert row.paper_full_scan_s == 58.6
+        assert row.paper_factor == pytest.approx(58.6 / 41.2)
+
+
+class TestFig6Shapes:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6(num_pages=PAGES)
+
+    def test_each_optimization_helps(self, fig6):
+        for case in ("uniform", "sine"):
+            points = fig6.by_case(case)
+            assert points["coalesce"].elapsed_ms < points["none"].elapsed_ms
+            assert points["thread"].elapsed_ms < points["none"].elapsed_ms
+            assert points["both"].elapsed_ms == min(
+                p.elapsed_ms for p in points.values()
+            )
+
+    def test_combined_speedup_positive(self, fig6):
+        for case in ("uniform", "sine"):
+            assert fig6.speedup(case) > 1.3
+
+    def test_coalescing_helps_more_on_clustered_data(self, fig6):
+        """Sine's long runs make coalescing the dominant optimization."""
+        uniform = fig6.by_case("uniform")
+        sine = fig6.by_case("sine")
+        gain = lambda pts: pts["none"].elapsed_ms / pts["coalesce"].elapsed_ms
+        assert gain(sine) > gain(uniform)
+
+    def test_coalescing_reduces_mmap_calls(self, fig6):
+        for case in ("uniform", "sine"):
+            points = fig6.by_case(case)
+            assert points["coalesce"].mmap_calls < points["none"].mmap_calls
+            assert points["none"].mmap_calls == points["none"].pages
+
+    def test_thread_moves_work_off_the_scan_lane(self, fig6):
+        points = fig6.by_case("uniform")
+        assert points["thread"].map_lane_ms > 0
+        assert points["none"].map_lane_ms == 0
+
+
+class TestFig7Shapes:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_fig7(num_pages=PAGES)
+
+    def test_parse_dominates_small_batches(self, fig7):
+        for case in ("uniform", "sine"):
+            smallest = fig7.by_case(case)[0]
+            assert smallest.parse_ms > smallest.update_ms
+
+    def test_parse_costlier_for_uniform_than_sine(self, fig7):
+        uniform = fig7.by_case("uniform")[0]
+        sine = fig7.by_case("sine")[0]
+        assert uniform.parse_ms > sine.parse_ms
+        assert uniform.maps_lines > sine.maps_lines
+
+    def test_incremental_beats_rebuild_for_small_batches(self, fig7):
+        for case in ("uniform", "sine"):
+            for point in fig7.by_case(case)[:-1]:
+                assert point.total_ms < point.rebuild_ms, (case, point.batch_size)
+
+    def test_update_cost_grows_with_batch_size(self, fig7):
+        for case in ("uniform", "sine"):
+            updates = [p.update_ms for p in fig7.by_case(case)]
+            assert updates == sorted(updates)
+
+    def test_uniform_removes_more_pages_than_sine(self, fig7):
+        """Uniform views hold barely-qualifying pages; updates empty
+        them. Clustered sine pages keep qualifying."""
+        uniform_removed = sum(p.pages_removed for p in fig7.by_case("uniform"))
+        sine_removed = sum(p.pages_removed for p in fig7.by_case("sine"))
+        assert uniform_removed > sine_removed

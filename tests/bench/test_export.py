@@ -1,0 +1,76 @@
+"""Unit tests for the JSON export of experiment results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.export import dump_result, export_suite, to_jsonable
+from repro.bench.fig3 import run_fig3
+from repro.bench.experiments import run_all
+from repro.core.stats import QueryStats, ViewEvent
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(1.5) == 1.5
+
+    def test_numpy_converted(self):
+        assert to_jsonable(np.int64(7)) == 7
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_enum_converted(self):
+        assert to_jsonable(ViewEvent.INSERTED) == "inserted"
+
+    def test_dataclass_converted(self):
+        stats = QueryStats(lo=1, hi=2, sim_ns=3.0, view_event=ViewEvent.NONE)
+        out = to_jsonable(stats)
+        assert out["lo"] == 1
+        assert out["view_event"] == "none"
+
+    def test_nested_containers(self):
+        data = {"a": [QueryStats(lo=0, hi=1)], "b": (1, 2)}
+        out = to_jsonable(data)
+        assert out["a"][0]["hi"] == 1
+        assert out["b"] == [1, 2]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestDumpAndExport:
+    def test_dump_result_roundtrips_through_json(self, tmp_path):
+        result = run_fig3(num_pages=256, ks=[12_500], verify=False)
+        path = dump_result(result, tmp_path / "fig3.json")
+        data = json.loads(path.read_text())
+        assert data["num_pages"] == 256
+        assert len(data["points"]) == 4  # one per variant
+        assert {p["variant"] for p in data["points"]} == {
+            "zone_map", "bitmap", "page_vector", "virtual_view",
+        }
+
+    def test_export_suite_writes_everything(self, tmp_path):
+        suite = run_all(num_pages=256, num_queries=20)
+        written = export_suite(suite, tmp_path / "out")
+        assert set(written) == {
+            "fig2", "fig3", "fig4", "fig5", "table1", "fig6", "fig7",
+            "manifest",
+        }
+        for path in written.values():
+            assert path.exists()
+            json.loads(path.read_text())  # all valid JSON
+        manifest = json.loads(written["manifest"].read_text())
+        assert manifest["experiments"]["fig4"] == "fig4.json"
+
+    def test_exported_fig4_preserves_series(self, tmp_path):
+        suite = run_all(num_pages=256, num_queries=20)
+        written = export_suite(suite, tmp_path / "out")
+        data = json.loads(written["fig4"].read_text())
+        sine = data["series"]["sine"]
+        assert len(sine["adaptive"]["stats"]["queries"]) == 20
+        assert sine["adaptive"]["stats"]["queries"][0]["sim_ns"] > 0

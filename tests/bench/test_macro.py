@@ -1,0 +1,66 @@
+"""Tests for the macro analytics workload."""
+
+import pytest
+
+from repro.bench.macro import (
+    DATE_DOMAIN,
+    MacroResult,
+    build_workload,
+    render_macro,
+    run_macro,
+)
+
+
+class TestWorkload:
+    def test_mix_proportions(self):
+        queries = build_workload(400, seed=1)
+        kinds = [q.kind for q in queries]
+        assert 0.45 < kinds.count("date") / 400 < 0.75
+        assert 0.10 < kinds.count("price") / 400 < 0.40
+        assert kinds.count("conjunction") > 0
+
+    def test_date_windows_align_to_weeks(self):
+        queries = build_workload(200, seed=2)
+        for q in queries:
+            if "shipdate" in q.predicates:
+                lo, hi = q.predicates["shipdate"]
+                assert lo % 7 == 0
+                assert hi - lo + 1 in (7, 14, 28)
+                assert 0 <= lo <= hi <= DATE_DOMAIN[1]
+
+    def test_deterministic(self):
+        a = build_workload(50, seed=3)
+        b = build_workload(50, seed=3)
+        assert [q.predicates for q in a] == [q.predicates for q in b]
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self) -> MacroResult:
+        return run_macro(num_pages=512, num_queries=60)
+
+    def test_all_engines_ran(self, result):
+        labels = [run.label for run in result.runs]
+        assert labels == ["full_scan", "adaptive_single", "adaptive_multi_cost"]
+
+    def test_engines_agree_on_rows(self, result):
+        totals = {run.total_rows for run in result.runs}
+        assert len(totals) == 1
+
+    def test_adaptive_beats_full_scan(self, result):
+        assert result.speedup("adaptive_single") > 1.0
+        assert result.speedup("adaptive_multi_cost") > 1.0
+
+    def test_full_scan_creates_no_views(self, result):
+        assert result.by_label("full_scan").views_created == 0
+
+    def test_adaptive_scans_fewer_pages(self, result):
+        assert (
+            result.by_label("adaptive_single").pages_scanned
+            < result.by_label("full_scan").pages_scanned
+        )
+
+    def test_render(self, result):
+        text = render_macro(result)
+        assert "Macro workload" in text
+        assert "adaptive_multi_cost" in text

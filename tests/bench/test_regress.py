@@ -1,0 +1,71 @@
+"""Unit tests for the suite regression comparator."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import run_all
+from repro.bench.export import export_suite
+from repro.bench.regress import MetricDelta, compare_suites, extract_metrics
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    suite = run_all(num_pages=256, num_queries=20)
+    directory = tmp_path_factory.mktemp("suite")
+    export_suite(suite, directory)
+    return directory
+
+
+class TestMetricDelta:
+    def test_ratio(self):
+        assert MetricDelta("m", 2.0, 3.0).ratio == 1.5
+        assert MetricDelta("m", 0.0, 0.0).ratio == 1.0
+        assert MetricDelta("m", 0.0, 1.0).ratio == float("inf")
+
+    def test_regressed(self):
+        assert MetricDelta("m", 1.0, 1.2).regressed(0.1)
+        assert not MetricDelta("m", 1.0, 1.04).regressed(0.05)
+        # improvements outside the band are flagged too (shape changes)
+        assert MetricDelta("m", 1.0, 0.5).regressed(0.1)
+
+
+class TestExtractMetrics:
+    def test_headline_metrics_present(self, exported):
+        metrics = extract_metrics(exported)
+        assert any(key.startswith("fig3.") for key in metrics)
+        assert "fig4.sine.speedup" in metrics
+        assert any(key.endswith(".rebuild_ms") for key in metrics)
+        assert all(isinstance(v, float) for v in metrics.values())
+
+
+class TestCompareSuites:
+    def test_identical_suites_pass(self, exported):
+        report = compare_suites(exported, exported)
+        assert report.ok
+        assert report.deltas
+        assert all(d.ratio == 1.0 for d in report.deltas)
+
+    def test_perturbed_suite_flagged(self, exported, tmp_path):
+        # copy the export and inflate one fig4 series' times by 2x
+        current = tmp_path / "current"
+        current.mkdir()
+        for path in exported.iterdir():
+            (current / path.name).write_text(path.read_text())
+        fig4 = json.loads((current / "fig4.json").read_text())
+        for query in fig4["series"]["sine"]["adaptive"]["stats"]["queries"]:
+            query["sim_ns"] *= 2
+        (current / "fig4.json").write_text(json.dumps(fig4))
+
+        report = compare_suites(exported, current, tolerance=0.05)
+        assert not report.ok
+        names = {d.name for d in report.regressions}
+        assert "fig4.sine.adaptive_s" in names
+        assert "fig4.sine.speedup" in names
+        # unrelated metrics did not move
+        assert "fig6.uniform.none_ms" not in names
+
+    def test_render(self, exported):
+        text = compare_suites(exported, exported).render()
+        assert "OK" in text
+        assert "fig4.sine.speedup" in text

@@ -1,0 +1,75 @@
+"""Unit tests for the shared experiment renderers."""
+
+import pytest
+
+from repro.bench.ablations import run_max_views_ablation
+from repro.bench.fig2 import run_fig2
+from repro.bench.fig3 import run_fig3
+from repro.bench.fig4 import run_fig4
+from repro.bench.fig5 import run_fig5
+from repro.bench.fig6 import run_fig6
+from repro.bench.fig7 import run_fig7
+from repro.bench import render
+from repro.bench.table1 import build_table1
+
+PAGES = 256
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4(num_pages=PAGES, num_queries=20)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(num_pages=PAGES, num_queries=20)
+
+
+class TestRenderers:
+    def test_fig2(self):
+        text = render.render_fig2(run_fig2(num_pages=PAGES))
+        assert "Figure 2" in text
+        assert "sine" in text and "sparse" in text
+
+    def test_fig3(self):
+        text = render.render_fig3(run_fig3(num_pages=PAGES, ks=[12_500, 100_000]))
+        assert "Figure 3" in text
+        for variant in render.FIG3_VARIANTS:
+            assert variant in text
+
+    def test_fig4(self, fig4_result):
+        text = render.render_fig4(fig4_result)
+        assert "Figure 4" in text
+        assert "speedup" in text
+        assert "sparse" in text
+
+    def test_fig5(self, fig5_result):
+        text = render.render_fig5(fig5_result)
+        assert "Figure 5" in text
+        assert "max views/query" in text
+
+    def test_table1(self, fig4_result, fig5_result):
+        text = render.render_table1(build_table1(fig4_result, fig5_result))
+        assert "Table 1" in text
+        assert "paper factor" in text
+        assert "58.6" in text  # the paper's number appears
+
+    def test_fig6(self):
+        text = render.render_fig6(run_fig6(num_pages=PAGES))
+        assert "Figure 6" in text
+        assert "coalesce" in text and "thread" in text
+
+    def test_fig7(self):
+        text = render.render_fig7(run_fig7(num_pages=PAGES))
+        assert "Figure 7" in text
+        assert "rebuild" in text
+
+    def test_ablation(self):
+        result = run_max_views_ablation(limits=(0, 8), num_pages=PAGES, num_queries=10)
+        text = render.render_ablation(result, title="demo sweep")
+        assert text.startswith("demo sweep")
+        assert "max=0" in text
+
+    def test_ablation_default_title(self):
+        result = run_max_views_ablation(limits=(0,), num_pages=PAGES, num_queries=5)
+        assert "Ablation — max_views" in render.render_ablation(result)

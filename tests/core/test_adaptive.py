@@ -1,0 +1,181 @@
+"""Unit and property tests for the adaptive storage layer (Listing 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveStorageLayer
+from repro.core.config import AdaptiveConfig, RoutingMode
+from repro.core.stats import ViewEvent
+from repro.vm.constants import VALUES_PER_PAGE
+
+from ..conftest import build_column, reference_rows, uniform_column
+
+
+def clustered_column(num_pages=24, band=1000):
+    rng = np.random.default_rng(2)
+    parts = [
+        rng.integers(p * band, p * band + band // 2, VALUES_PER_PAGE)
+        for p in range(num_pages)
+    ]
+    return build_column(np.concatenate(parts))
+
+
+def check_view_invariant(column, layer):
+    """Every partial view must map every page holding a value within its
+    covered range — the core correctness invariant of the design."""
+    for view in layer.view_index.partial_views:
+        required = set(column.pages_with_values_in(view.lo, view.hi).tolist())
+        mapped = set(view.mapped_fpages().tolist())
+        assert required <= mapped, (
+            f"view [{view.lo}, {view.hi}] misses pages {required - mapped}"
+        )
+
+
+class TestQueryCorrectness:
+    def test_first_query_equals_reference(self):
+        col = uniform_column()
+        layer = AdaptiveStorageLayer(col)
+        result = layer.answer_query(100, 10_000)
+        expected = reference_rows(col.values(), 100, 10_000)
+        assert np.array_equal(np.sort(result.rowids), expected)
+
+    def test_inverted_range_rejected(self):
+        layer = AdaptiveStorageLayer(uniform_column())
+        with pytest.raises(ValueError):
+            layer.answer_query(10, 5)
+
+    def test_point_query(self):
+        col = build_column(np.arange(VALUES_PER_PAGE * 4))
+        layer = AdaptiveStorageLayer(col)
+        result = layer.answer_query(777, 777)
+        assert result.rowids.tolist() == [777]
+        assert result.values.tolist() == [777]
+
+    def test_no_hit_query(self):
+        col = build_column(np.zeros(VALUES_PER_PAGE, dtype=np.int64))
+        layer = AdaptiveStorageLayer(col)
+        result = layer.answer_query(5, 10)
+        assert len(result) == 0
+
+    def test_repeated_queries_stay_correct(self):
+        col = clustered_column()
+        layer = AdaptiveStorageLayer(col, AdaptiveConfig(max_views=10))
+        expected = reference_rows(col.values(), 3000, 5000)
+        for _ in range(4):
+            result = layer.answer_query(3000, 5000)
+            assert np.array_equal(np.sort(result.rowids), expected)
+
+
+class TestAdaptivity:
+    def test_view_created_for_selective_query(self):
+        col = clustered_column()
+        layer = AdaptiveStorageLayer(col)
+        result = layer.answer_query(3000, 5000)
+        assert result.stats.view_event is ViewEvent.INSERTED
+        assert layer.view_index.num_partials == 1
+        check_view_invariant(col, layer)
+
+    def test_unselective_query_discards_candidate(self):
+        col = clustered_column()
+        layer = AdaptiveStorageLayer(col)
+        result = layer.answer_query(0, 10**9)
+        assert result.stats.view_event is ViewEvent.DISCARDED_FULL
+        assert layer.view_index.num_partials == 0
+
+    def test_repeat_query_uses_partial_view(self):
+        col = clustered_column()
+        layer = AdaptiveStorageLayer(col)
+        first = layer.answer_query(3000, 5000)
+        second = layer.answer_query(3000, 5000)
+        assert second.stats.pages_scanned < first.stats.pages_scanned
+        assert second.stats.pages_scanned < col.num_pages
+        assert second.stats.sim_ns < first.stats.sim_ns
+
+    def test_candidate_range_extension(self):
+        """The created view covers [l'+1, u'-1], wider than the query."""
+        col = clustered_column(band=1000)  # page p: [1000p, 1000p+500)
+        layer = AdaptiveStorageLayer(col)
+        layer.answer_query(3100, 3300)  # hits only page 3
+        view = layer.view_index.partial_views[0]
+        # page 2's max is < 2500, page 4's min is >= 4000: the view may
+        # cover everything in between
+        assert view.lo <= 2500
+        assert view.hi >= 3999
+        check_view_invariant(col, layer)
+
+    def test_generation_stops_at_limit(self):
+        col = clustered_column()
+        layer = AdaptiveStorageLayer(col, AdaptiveConfig(max_views=2))
+        layer.answer_query(1000, 1400)
+        layer.answer_query(5000, 5400)
+        assert layer.view_index.generation_stopped
+        result = layer.answer_query(9000, 9400)
+        assert result.stats.view_event is ViewEvent.NONE
+        assert layer.view_index.num_partials == 2
+        # queries still answered correctly from the static set
+        expected = reference_rows(col.values(), 9000, 9400)
+        assert np.array_equal(np.sort(result.rowids), expected)
+
+    def test_stats_populated(self):
+        col = clustered_column()
+        layer = AdaptiveStorageLayer(col)
+        result = layer.answer_query(3000, 5000)
+        stats = result.stats
+        assert stats.lo == 3000 and stats.hi == 5000
+        assert stats.pages_scanned == col.num_pages  # first query: full view
+        assert stats.views_used == 1
+        assert stats.result_rows == len(result)
+        assert stats.sim_ns > 0
+        assert stats.partial_views_after == 1
+
+    def test_multi_view_mode_end_to_end(self):
+        col = clustered_column()
+        config = AdaptiveConfig(max_views=20, mode=RoutingMode.MULTI)
+        layer = AdaptiveStorageLayer(col, config)
+        layer.answer_query(1000, 4000)
+        layer.answer_query(3500, 8000)
+        result = layer.answer_query(2000, 7000)  # covered by the two views
+        assert result.stats.views_used >= 2
+        expected = reference_rows(col.values(), 2000, 7000)
+        assert np.array_equal(np.sort(result.rowids), expected)
+
+    def test_background_mapping_mode(self):
+        col = clustered_column()
+        config = AdaptiveConfig(background_mapping=True)
+        with AdaptiveStorageLayer(col, config) as layer:
+            first = layer.answer_query(3000, 5000)
+            assert first.stats.view_event is ViewEvent.INSERTED
+            expected = reference_rows(col.values(), 3000, 5000)
+            assert np.array_equal(np.sort(first.rowids), expected)
+            second = layer.answer_query(3000, 5000)
+            assert np.array_equal(np.sort(second.rowids), expected)
+            check_view_invariant(col, layer)
+
+
+class TestAgainstFullScanProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        queries=st.lists(
+            st.tuples(st.integers(0, 20_000), st.integers(0, 8_000)),
+            min_size=1,
+            max_size=12,
+        ),
+        mode=st.sampled_from([RoutingMode.SINGLE, RoutingMode.MULTI]),
+    )
+    def test_adaptive_always_matches_reference(self, seed, queries, mode):
+        """Any query sequence in any mode returns exactly the reference
+        result, and all views keep the coverage invariant."""
+        col = clustered_column(num_pages=12, band=2000)
+        layer = AdaptiveStorageLayer(
+            col, AdaptiveConfig(max_views=5, mode=mode)
+        )
+        values = col.values()
+        for lo, width in queries:
+            hi = lo + width
+            result = layer.answer_query(lo, hi)
+            expected = reference_rows(values, lo, hi)
+            assert np.array_equal(np.sort(result.rowids), expected)
+        check_view_invariant(col, layer)

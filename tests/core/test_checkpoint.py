@@ -1,0 +1,124 @@
+"""Unit tests for database checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_database, save_database
+from repro.core.config import AdaptiveConfig, RoutingMode
+from repro.core.facade import AdaptiveDatabase
+
+from ..conftest import reference_rows
+
+
+@pytest.fixture
+def db():
+    database = AdaptiveDatabase(
+        AdaptiveConfig(max_views=8, mode=RoutingMode.MULTI)
+    )
+    rng = np.random.default_rng(4)
+    database.create_table(
+        "t",
+        {
+            "a": np.sort(rng.integers(0, 100_000, 4088)),
+            "b": rng.integers(0, 1_000, 4088),
+        },
+    )
+    database.create_table("u", {"x": np.arange(1022)})
+    yield database
+    database.close()
+
+
+def checkpoint_path(tmp_path):
+    return str(tmp_path / "ckpt.npz")
+
+
+class TestRoundtrip:
+    def test_data_survives(self, db, tmp_path):
+        path = checkpoint_path(tmp_path)
+        save_database(db, path)
+        loaded = load_database(path)
+        for table_name in ("t", "u"):
+            original = db.table(table_name)
+            restored = loaded.table(table_name)
+            assert restored.num_rows == original.num_rows
+            for col in original.column_names:
+                assert np.array_equal(
+                    restored.column(col).values(), original.column(col).values()
+                )
+        loaded.close()
+
+    def test_config_survives(self, db, tmp_path):
+        path = checkpoint_path(tmp_path)
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.config == db.config
+        loaded.close()
+
+    def test_views_rebuilt_warm(self, db, tmp_path):
+        db.query("t", "a", 10_000, 20_000)
+        db.query("t", "a", 50_000, 60_000)
+        views_before = [
+            (v.lo, v.hi)
+            for v in db.layer("t", "a").view_index.partial_views
+        ]
+        assert views_before, "setup must create views"
+
+        path = checkpoint_path(tmp_path)
+        save_database(db, path)
+        loaded = load_database(path)
+        index = loaded.layer("t", "a").view_index
+        assert [(v.lo, v.hi) for v in index.partial_views] == views_before
+
+        # warm views mean no full scan on the reloaded database
+        result = loaded.query("t", "a", 10_000, 20_000)
+        assert result.stats.pages_scanned < loaded.table("t").column("a").num_pages
+        loaded.close()
+
+    def test_rebuilt_views_are_correct(self, db, tmp_path):
+        db.query("t", "a", 10_000, 20_000)
+        path = checkpoint_path(tmp_path)
+        save_database(db, path)
+        loaded = load_database(path)
+        values = loaded.table("t").column("a").values()
+        result = loaded.query("t", "a", 12_000, 18_000)
+        expected = reference_rows(values, 12_000, 18_000)
+        assert np.array_equal(np.sort(result.rowids), expected)
+        loaded.close()
+
+    def test_generation_stop_survives(self, tmp_path):
+        db = AdaptiveDatabase(AdaptiveConfig(max_views=1))
+        db.create_table("t", {"a": np.sort(np.arange(2044) * 40)})
+        db.query("t", "a", 100, 200)  # fills the single view slot
+        assert db.layer("t", "a").view_index.generation_stopped
+        path = checkpoint_path(tmp_path)
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.layer("t", "a").view_index.generation_stopped
+        loaded.close()
+        db.close()
+
+    def test_unqueried_columns_need_no_layer(self, db, tmp_path):
+        path = checkpoint_path(tmp_path)
+        save_database(db, path)
+        loaded = load_database(path)
+        # column b was never queried: loading must not create a layer
+        assert ("t", "b") not in loaded._layers
+        loaded.close()
+
+    def test_version_check(self, db, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = checkpoint_path(tmp_path)
+        save_database(db, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        manifest = json.loads(bytes(arrays["__manifest__"].tobytes()))
+        manifest["version"] = 999
+        arrays["__manifest__"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_database(path)

@@ -1,0 +1,164 @@
+"""Unit tests for optimized view creation (coalescing, background thread)."""
+
+import numpy as np
+import pytest
+
+from repro.core.creation import (
+    BackgroundMapper,
+    consecutive_runs,
+    create_partial_view,
+    materialize_pages,
+)
+from repro.core.view import VirtualView
+from repro.vm.cost import MAIN_LANE, MAPPER_LANE
+
+from ..conftest import uniform_column
+
+
+class TestConsecutiveRuns:
+    def test_empty(self):
+        assert consecutive_runs(np.array([], dtype=np.int64)) == []
+
+    def test_single_run(self):
+        runs = consecutive_runs(np.array([3, 4, 5]))
+        assert [r.tolist() for r in runs] == [[3, 4, 5]]
+
+    def test_multiple_runs(self):
+        runs = consecutive_runs(np.array([1, 2, 5, 6, 7, 10]))
+        assert [r.tolist() for r in runs] == [[1, 2], [5, 6, 7], [10]]
+
+    def test_all_singletons(self):
+        runs = consecutive_runs(np.array([1, 3, 5]))
+        assert len(runs) == 3
+
+
+class TestMaterializePages:
+    def test_coalesced_call_count(self):
+        col = uniform_column(num_pages=16)
+        view = VirtualView(col, 0, 10)
+        calls = materialize_pages(view, np.array([1, 2, 3, 8, 9, 14]), coalesce=True)
+        assert calls == 3
+        assert view.num_pages == 6
+
+    def test_uncoalesced_one_call_per_page(self):
+        col = uniform_column(num_pages=16)
+        view = VirtualView(col, 0, 10)
+        calls = materialize_pages(view, np.array([1, 2, 3]), coalesce=False)
+        assert calls == 3
+
+    def test_mmap_counter_matches(self):
+        col = uniform_column(num_pages=16)
+        view = VirtualView(col, 0, 10)
+        before = col.mapper.cost.ledger.counter("mmap_calls")
+        materialize_pages(view, np.array([1, 2, 3, 8]), coalesce=True)
+        assert col.mapper.cost.ledger.counter("mmap_calls") == before + 2
+
+    def test_empty_pages_noop(self):
+        col = uniform_column(num_pages=16)
+        view = VirtualView(col, 0, 10)
+        assert materialize_pages(view, np.array([], dtype=np.int64)) == 0
+
+    def test_mappings_correct_either_way(self):
+        col = uniform_column(num_pages=16)
+        for coalesce in (True, False):
+            view = VirtualView(col, 0, 10)
+            materialize_pages(view, np.array([2, 3, 9]), coalesce=coalesce)
+            for fpage in (2, 3, 9):
+                assert col.mapper.translate(view.vpn_of(fpage)) == (col.file, fpage)
+
+
+class TestBackgroundMapper:
+    def test_maps_on_mapper_lane(self):
+        col = uniform_column(num_pages=16)
+        cost = col.mapper.cost
+        bg = BackgroundMapper(cost)
+        try:
+            view = VirtualView(col, 0, 10)
+            main_before = cost.ledger.lane_ns(MAIN_LANE)
+            materialize_pages(view, np.array([1, 2, 3]), background=bg)
+            assert view.num_pages == 3
+            # mmap work landed on the mapper lane, not the main lane
+            assert cost.ledger.lane_ns(MAPPER_LANE) > 0
+            main_delta = cost.ledger.lane_ns(MAIN_LANE) - main_before
+            assert main_delta < cost.params.mmap_syscall_ns
+            # the mapping is actually in place (real thread executed it)
+            assert col.mapper.translate(view.vpn_of(2)) == (col.file, 2)
+        finally:
+            bg.stop()
+
+    def test_flush_waits_for_completion(self):
+        col = uniform_column(num_pages=64)
+        bg = BackgroundMapper(col.mapper.cost)
+        try:
+            view = VirtualView(col, 0, 10)
+            materialize_pages(view, np.arange(64), coalesce=False, background=bg)
+            for fpage in range(64):
+                assert col.mapper.translate(view.vpn_of(fpage)) == (col.file, fpage)
+        finally:
+            bg.stop()
+
+    def test_queue_ops_charged_both_sides(self):
+        col = uniform_column(num_pages=16)
+        cost = col.mapper.cost
+        bg = BackgroundMapper(cost)
+        try:
+            view = VirtualView(col, 0, 10)
+            materialize_pages(view, np.array([1, 5, 9]), coalesce=True, background=bg)
+            assert cost.ledger.counter("queue_ops") == 6  # 3 pushes + 3 pops
+        finally:
+            bg.stop()
+
+    def test_stop_is_idempotent(self):
+        col = uniform_column(num_pages=4)
+        bg = BackgroundMapper(col.mapper.cost)
+        bg.stop()
+        bg.stop()
+
+    def test_thread_failure_surfaces(self):
+        col = uniform_column(num_pages=4)
+        bg = BackgroundMapper(col.mapper.cost)
+        try:
+            view = VirtualView(col, 0, 10)
+            request = view.plan_run([2])
+            # sabotage: destroy the view so the mapped-to region vanishes
+            bad = type(request)(
+                vpn_start=request.vpn_start, fpage_start=99, npages=1
+            )
+            bg.submit(view, bad)
+            with pytest.raises(RuntimeError):
+                bg.flush()
+        finally:
+            bg.stop()
+
+
+class TestCreatePartialView:
+    def test_report_contents(self):
+        col = uniform_column(num_pages=32, hi=1_000_000)
+        full = VirtualView.full_view(col)
+        report = create_partial_view(col, [full], 0, 1000, coalesce=True)
+        assert report.pages == report.view.num_pages
+        assert report.view.covers(0, 1000)
+        assert report.elapsed_ns > 0
+        assert report.mapper_ns == 0  # no background thread
+        assert report.main_ns == pytest.approx(report.elapsed_ns)
+
+    def test_overlap_accounting_with_thread(self):
+        col = uniform_column(num_pages=32, hi=1_000_000)
+        full = VirtualView.full_view(col)
+        bg = BackgroundMapper(col.mapper.cost)
+        try:
+            report = create_partial_view(col, [full], 0, 1000, background=bg)
+        finally:
+            bg.stop()
+        assert report.mapper_ns > 0
+        assert report.elapsed_ns == pytest.approx(
+            max(report.main_ns, report.mapper_ns)
+        )
+        assert report.elapsed_ns < report.main_ns + report.mapper_ns
+
+    def test_created_view_range_extended(self):
+        col = uniform_column(num_pages=32, hi=1_000_000)
+        full = VirtualView.full_view(col)
+        report = create_partial_view(col, [full], 100_000, 200_000)
+        lo, hi = report.view.value_range
+        assert lo <= 100_000 and hi >= 200_000

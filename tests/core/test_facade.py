@@ -1,0 +1,85 @@
+"""Unit tests for the AdaptiveDatabase facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+
+from ..conftest import reference_rows
+
+
+@pytest.fixture
+def db():
+    database = AdaptiveDatabase(AdaptiveConfig(max_views=5))
+    rng = np.random.default_rng(0)
+    database.create_table(
+        "readings",
+        {
+            "temp": rng.integers(0, 100_000, 5110),
+            "pressure": rng.integers(0, 1_000, 5110),
+        },
+    )
+    yield database
+    database.close()
+
+
+class TestQueries:
+    def test_query_matches_reference(self, db):
+        column = db.table("readings").column("temp")
+        result = db.query("readings", "temp", 1000, 5000)
+        expected = reference_rows(column.values(), 1000, 5000)
+        assert np.array_equal(np.sort(result.rowids), expected)
+
+    def test_layers_are_cached_per_column(self, db):
+        a = db.layer("readings", "temp")
+        b = db.layer("readings", "temp")
+        c = db.layer("readings", "pressure")
+        assert a is b
+        assert a is not c
+
+    def test_independent_columns(self, db):
+        db.query("readings", "temp", 0, 100)
+        assert db.layer("readings", "pressure").view_index.num_partials == 0
+
+    def test_missing_table_or_column(self, db):
+        with pytest.raises(KeyError):
+            db.query("ghost", "temp", 0, 1)
+        with pytest.raises(KeyError):
+            db.query("readings", "ghost", 0, 1)
+
+
+class TestUpdates:
+    def test_update_and_flush(self, db):
+        db.query("readings", "temp", 1000, 5000)  # create a view
+        old = db.update("readings", "temp", 0, 2222)
+        assert isinstance(old, int)
+        stats = db.flush_updates("readings", "temp")
+        assert stats.batch_size == 1
+        column = db.table("readings").column("temp")
+        result = db.query("readings", "temp", 1000, 5000)
+        expected = reference_rows(column.values(), 1000, 5000)
+        assert np.array_equal(np.sort(result.rowids), expected)
+
+    def test_flush_drains_log(self, db):
+        db.update("readings", "temp", 0, 1)
+        db.flush_updates("readings", "temp")
+        assert len(db.table("readings").pending_updates("temp")) == 0
+
+    def test_flush_without_updates(self, db):
+        stats = db.flush_updates("readings", "temp")
+        assert stats.batch_size == 0
+
+
+class TestLifecycle:
+    def test_context_manager(self):
+        with AdaptiveDatabase() as database:
+            database.create_table("t", {"x": np.arange(100)})
+            database.query("t", "x", 0, 10)
+        # close() ran; layers are gone
+        assert database._layers == {}
+
+    def test_shared_cost_model(self, db):
+        before = db.cost.ledger.lane_ns()
+        db.query("readings", "temp", 0, 10)
+        assert db.cost.ledger.lane_ns() > before

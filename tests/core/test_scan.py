@@ -1,0 +1,126 @@
+"""Unit and property tests for the vectorized batch scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scan import NO_ABOVE, NO_BELOW, batch_scan
+from repro.vm.constants import VALUES_PER_PAGE
+
+from ..conftest import build_column, uniform_column
+
+
+class TestBatchScan:
+    def test_empty_page_list(self, small_column):
+        result = batch_scan(small_column, np.array([], dtype=np.int64), 0, 10)
+        assert result.pages_scanned == 0
+        assert result.rowids.size == 0
+        assert result.qualifying_fpages.size == 0
+
+    def test_matches_reference(self, small_column):
+        lo, hi = 100_000, 200_000
+        pages = np.arange(small_column.num_pages)
+        result = batch_scan(small_column, pages, lo, hi)
+        values = small_column.values()
+        expected = np.nonzero((values >= lo) & (values <= hi))[0]
+        assert np.array_equal(np.sort(result.rowids), expected)
+
+    def test_subset_of_pages(self, small_column):
+        pages = np.array([3, 7, 11])
+        result = batch_scan(small_column, pages, 0, 10**9)
+        assert result.pages_scanned == 3
+        rows_per_page = VALUES_PER_PAGE
+        expected_rows = set()
+        for p in pages.tolist():
+            expected_rows.update(range(p * rows_per_page, (p + 1) * rows_per_page))
+        assert set(result.rowids.tolist()) == expected_rows
+
+    def test_scan_order_preserved(self, small_column):
+        pages = np.array([9, 2, 5])
+        result = batch_scan(small_column, pages, 0, 10**9)
+        assert result.fpages.tolist() == [9, 2, 5]
+        assert result.qualifying_fpages.tolist() == [9, 2, 5]
+
+    def test_per_page_evidence(self):
+        values = np.concatenate(
+            [
+                np.full(VALUES_PER_PAGE, 10),   # page 0: all below
+                np.full(VALUES_PER_PAGE, 50),   # page 1: all inside
+                np.full(VALUES_PER_PAGE, 90),   # page 2: all above
+            ]
+        )
+        col = build_column(values)
+        result = batch_scan(col, np.arange(3), 40, 60)
+        assert result.page_qualifies.tolist() == [False, True, False]
+        assert result.max_below[0] == 10
+        assert result.min_above[0] == NO_ABOVE
+        assert result.max_below[2] == NO_BELOW
+        assert result.min_above[2] == 90
+
+    def test_partial_last_page(self):
+        values = np.full(VALUES_PER_PAGE + 7, 5)
+        col = build_column(values)
+        result = batch_scan(col, np.arange(2), 5, 5)
+        assert result.rowids.size == values.size
+        # the padding zeros must not show up as below-range evidence
+        assert result.max_below[1] == NO_BELOW
+
+    def test_padding_does_not_match_zero_query(self):
+        values = np.full(VALUES_PER_PAGE + 7, 5)
+        col = build_column(values)
+        result = batch_scan(col, np.arange(2), 0, 0)
+        assert result.rowids.size == 0
+
+    def test_charges_per_page(self, small_column):
+        cost = small_column.mapper.cost
+        before = cost.ledger.counter("pages_scanned")
+        batch_scan(small_column, np.arange(5), 0, 10, access_kind="random")
+        assert cost.ledger.counter("pages_scanned") == before + 5
+
+    def test_charge_flag(self, small_column):
+        cost = small_column.mapper.cost
+        before = cost.ledger.lane_ns()
+        batch_scan(small_column, np.arange(5), 0, 10, charge=False)
+        assert cost.ledger.lane_ns() == before
+
+    def test_contiguous_fast_path_equals_gather(self, small_column):
+        contiguous = batch_scan(small_column, np.arange(4, 12), 0, 500_000)
+        gathered = batch_scan(
+            small_column, np.array([4, 5, 6, 7, 8, 9, 10, 11]), 0, 500_000
+        )
+        assert np.array_equal(np.sort(contiguous.rowids), np.sort(gathered.rowids))
+        assert contiguous.page_qualifies.tolist() == gathered.page_qualifies.tolist()
+
+    def test_clamps_oversized_range(self, small_column):
+        result = batch_scan(small_column, np.arange(2), -(2**70), 2**70)
+        assert result.rowids.size == 2 * VALUES_PER_PAGE
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    lo=st.integers(0, 1_000_000),
+    width=st.integers(0, 1_000_000),
+    data=st.data(),
+)
+def test_batch_scan_equals_per_page_scan(seed, lo, width, data):
+    """The vectorized scan agrees with page-by-page scanning."""
+    col = uniform_column(num_pages=6, seed=seed)
+    hi = lo + width
+    pages = data.draw(
+        st.lists(st.integers(0, 5), min_size=0, max_size=6, unique=True)
+    )
+    fpages = np.array(pages, dtype=np.int64)
+    result = batch_scan(col, fpages, lo, hi, charge=False)
+
+    all_rowids = []
+    for i, p in enumerate(pages):
+        single = col.scan_page(p, lo, hi, charge=False)
+        all_rowids.extend(single.rowids.tolist())
+        assert bool(result.page_qualifies[i]) == (not single.empty)
+        expected_below = single.max_below if single.max_below is not None else NO_BELOW
+        expected_above = single.min_above if single.min_above is not None else NO_ABOVE
+        assert result.max_below[i] == expected_below
+        assert result.min_above[i] == expected_above
+    assert sorted(result.rowids.tolist()) == sorted(all_rowids)

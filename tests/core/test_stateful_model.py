@@ -1,0 +1,115 @@
+"""Model-based stateful testing of the adaptive storage layer.
+
+A hypothesis state machine interleaves range queries, point updates,
+batch flushes and snapshots against one column, comparing every
+observable result with a plain numpy model.  This is the strongest
+correctness net in the suite: any divergence between the fused
+storage/indexing design and a naive array would surface here.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.adaptive import AdaptiveStorageLayer
+from repro.core.config import AdaptiveConfig, RoutingMode
+from repro.core.snapshot import SnapshotManager
+from repro.storage.updates import UpdateBatch, UpdateRecord
+from repro.vm.constants import VALUES_PER_PAGE
+
+from ..conftest import build_column
+
+NUM_PAGES = 8
+NUM_ROWS = NUM_PAGES * VALUES_PER_PAGE
+DOMAIN = 10_000
+
+
+class AdaptiveLayerMachine(RuleBasedStateMachine):
+    """Queries, updates, flushes and snapshots vs a numpy model."""
+
+    @initialize(
+        seed=st.integers(0, 2**16),
+        mode=st.sampled_from(list(RoutingMode)),
+    )
+    def setup(self, seed, mode):
+        rng = np.random.default_rng(seed)
+        self.model = rng.integers(0, DOMAIN, NUM_ROWS)
+        self.column = build_column(self.model.copy())
+        self.layer = AdaptiveStorageLayer(
+            self.column, AdaptiveConfig(max_views=6, mode=mode)
+        )
+        self.manager = SnapshotManager(self.column)
+        self.pending = UpdateBatch()
+        self.snapshots = []  # (snapshot, frozen model)
+
+    @rule(lo=st.integers(0, DOMAIN), width=st.integers(0, DOMAIN // 2))
+    def query(self, lo, width):
+        result = self.layer.answer_query(lo, lo + width)
+        expected = np.nonzero((self.model >= lo) & (self.model <= lo + width))[0]
+        assert np.array_equal(np.sort(result.rowids), expected)
+
+    @rule(row=st.integers(0, NUM_ROWS - 1), value=st.integers(0, DOMAIN))
+    def update(self, row, value):
+        old = self.column.write(row, value)
+        assert old == self.model[row]
+        self.pending.append(UpdateRecord(row=row, old=old, new=value))
+        self.model[row] = value
+
+    @precondition(lambda self: len(self.pending) > 0)
+    @rule()
+    def flush(self):
+        self.layer.apply_updates(self.pending)
+        self.pending = UpdateBatch()
+
+    @rule()
+    def snapshot(self):
+        if len(self.snapshots) < 3:
+            self.snapshots.append(
+                (self.manager.create_snapshot(), self.model.copy())
+            )
+
+    @precondition(lambda self: self.snapshots)
+    @rule(lo=st.integers(0, DOMAIN), width=st.integers(0, DOMAIN // 2))
+    def snapshot_scan(self, lo, width):
+        snapshot, frozen = self.snapshots[0]
+        rowids, values = snapshot.scan(lo, lo + width)
+        expected = np.nonzero((frozen >= lo) & (frozen <= lo + width))[0]
+        assert np.array_equal(np.sort(rowids), expected)
+
+    @precondition(lambda self: self.snapshots)
+    @rule()
+    def release_snapshot(self):
+        snapshot, _ = self.snapshots.pop()
+        snapshot.release()
+
+    @invariant()
+    def views_keep_coverage_invariant(self):
+        """After pending updates are flushed, every partial view maps
+        every page holding an in-range value."""
+        if not hasattr(self, "layer") or len(self.pending) > 0:
+            return  # stale views are expected until the next flush
+        for view in self.layer.view_index.partial_views:
+            required = set(
+                self.column.pages_with_values_in(view.lo, view.hi).tolist()
+            )
+            mapped = set(view.mapped_fpages().tolist())
+            assert required <= mapped
+
+    def teardown(self):
+        if hasattr(self, "manager"):
+            self.manager.close()
+        if hasattr(self, "layer"):
+            self.layer.shutdown()
+
+
+AdaptiveLayerMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestAdaptiveLayerStateful = AdaptiveLayerMachine.TestCase

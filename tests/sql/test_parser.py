@@ -1,0 +1,164 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.errors import ParseError
+from repro.sql.nodes import (
+    CreateTableStatement,
+    ExplainStatement,
+    FlushStatement,
+    InsertStatement,
+    SelectStatement,
+    ShowViewsStatement,
+    UpdateStatement,
+)
+from repro.sql.parser import parse
+from repro.vm.constants import MAX_VALUE, MIN_VALUE
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.columns == ["*"]
+        assert stmt.table == "t"
+        assert stmt.predicates == {}
+
+    def test_column_list(self):
+        stmt = parse("SELECT a, b, c FROM t")
+        assert stmt.columns == ["a", "b", "c"]
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 10 AND 20")
+        pred = stmt.predicates["a"]
+        assert (pred.lo, pred.hi) == (10, 20)
+
+    def test_equality(self):
+        stmt = parse("SELECT a FROM t WHERE a = 5")
+        pred = stmt.predicates["a"]
+        assert (pred.lo, pred.hi) == (5, 5)
+
+    def test_open_ranges(self):
+        stmt = parse("SELECT a FROM t WHERE a >= 3")
+        assert stmt.predicates["a"].lo == 3
+        assert stmt.predicates["a"].hi == MAX_VALUE
+        stmt = parse("SELECT a FROM t WHERE a <= 9")
+        assert stmt.predicates["a"].lo == MIN_VALUE
+        assert stmt.predicates["a"].hi == 9
+
+    def test_strict_inequalities(self):
+        stmt = parse("SELECT a FROM t WHERE a > 3 AND a < 9")
+        pred = stmt.predicates["a"]
+        assert (pred.lo, pred.hi) == (4, 8)
+
+    def test_conjunction_merges_per_column(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE a >= 0 AND a <= 100 AND a BETWEEN 10 AND 200"
+        )
+        pred = stmt.predicates["a"]
+        assert (pred.lo, pred.hi) == (10, 100)
+
+    def test_multi_column_conjunction(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 AND b BETWEEN 2 AND 3")
+        assert set(stmt.predicates) == {"a", "b"}
+
+    def test_aggregates(self):
+        stmt = parse("SELECT COUNT(a), SUM(b), AVG(c) FROM t")
+        assert stmt.is_aggregate
+        assert [a.function for a in stmt.aggregates] == ["COUNT", "SUM", "AVG"]
+        assert [a.column for a in stmt.aggregates] == ["a", "b", "c"]
+        assert stmt.aggregates[0].label == "count(a)"
+
+    def test_order_by_rowid(self):
+        stmt = parse("SELECT a FROM t ORDER BY rowid")
+        assert stmt.order_by_rowid
+
+    def test_order_by_other_column_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t ORDER BY a")
+
+    def test_negative_bounds(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN -10 AND -1")
+        assert (stmt.predicates["a"].lo, stmt.predicates["a"].hi) == (-10, -1)
+
+    def test_inverted_between_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE a BETWEEN 5 AND 1")
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT * FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t nonsense")
+
+
+class TestCreateInsert:
+    def test_create(self):
+        stmt = parse("CREATE TABLE sensors (ts, temp, site)")
+        assert isinstance(stmt, CreateTableStatement)
+        assert stmt.columns == ["ts", "temp", "site"]
+
+    def test_create_duplicate_columns_rejected(self):
+        with pytest.raises(ParseError):
+            parse("CREATE TABLE t (a, a)")
+
+    def test_insert(self):
+        stmt = parse("INSERT INTO t VALUES (1, 2), (3, 4)")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.rows == [(1, 2), (3, 4)]
+
+    def test_insert_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse("INSERT INTO t VALUES (1, 2), (3)")
+
+
+class TestOtherStatements:
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 7 WHERE b BETWEEN 1 AND 2")
+        assert isinstance(stmt, UpdateStatement)
+        assert (stmt.column, stmt.value) == ("a", 7)
+        assert "b" in stmt.predicates
+
+    def test_update_without_where(self):
+        stmt = parse("UPDATE t SET a = 7")
+        assert stmt.predicates == {}
+
+    def test_flush(self):
+        stmt = parse("FLUSH UPDATES t")
+        assert isinstance(stmt, FlushStatement)
+        assert stmt.table == "t"
+
+    def test_show_views(self):
+        stmt = parse("SHOW VIEWS t.col")
+        assert isinstance(stmt, ShowViewsStatement)
+        assert (stmt.table, stmt.column) == ("t", "col")
+
+    def test_explain(self):
+        stmt = parse("EXPLAIN SELECT a FROM t WHERE a = 1")
+        assert isinstance(stmt, ExplainStatement)
+        assert stmt.select.table == "t"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "DROP TABLE t",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a t",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a",
+            "SELECT a FROM t WHERE a BETWEEN 1",
+            "SELECT a FROM t WHERE a <> 1",
+            "INSERT INTO t VALUES ()",
+            "CREATE TABLE t ()",
+            "SELECT COUNT a FROM t",
+            "SHOW VIEWS t",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

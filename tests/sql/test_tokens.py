@@ -1,0 +1,66 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.errors import TokenizeError
+from repro.sql.tokens import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)]
+
+
+class TestTokenize:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("myTable _col2")
+        assert tokens[0] == Token(TokenType.IDENTIFIER, "myTable", 0)
+        assert tokens[1].value == "_col2"
+
+    def test_numbers(self):
+        tokens = tokenize("42 -17 1_000_000")
+        assert [t.value for t in tokens[:-1]] == ["42", "-17", "1000000"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_symbols(self):
+        tokens = tokenize("( ) , ; * = < > <= >= .")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["(", ")", ",", ";", "*", "=", "<", ">", "<=", ">=", "."]
+        assert all(t.type is TokenType.SYMBOL for t in tokens[:-1])
+
+    def test_two_char_symbols_win(self):
+        tokens = tokenize("a<=1")
+        assert tokens[1].value == "<="
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- the projection\n a")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "a"]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+        assert tokenize("a")[-1].type is TokenType.END
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(TokenizeError) as info:
+            tokenize("a @ b")
+        assert info.value.position == 2
+
+    def test_full_statement(self):
+        tokens = tokenize("SELECT a FROM t WHERE a BETWEEN 1 AND 2;")
+        assert tokens[-2].value == ";"
+        assert len(tokens) == 12  # 10 lexemes + ';' + END
+
+    def test_helpers(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+        assert not token.is_symbol("*")

@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in a subprocess exactly as a user would run it.
+Only the quicker examples run here (the full-suite drivers are exercised
+by the benchmarks); each must exit cleanly and print its key lines.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "routed to the new partial view" in out
+        assert "partial views now held" in out
+
+    def test_sql_session(self):
+        out = run_example("sql_session.py")
+        assert "partial view" in out
+        assert "views realigned" in out
+
+    def test_native_rewiring_demo(self):
+        out = run_example("native_rewiring_demo.py")
+        # either a full demo or a graceful unsupported-platform message
+        assert "rewir" in out.lower()
+
+    def test_snapshot_analytics(self):
+        out = run_example("snapshot_analytics.py")
+        assert "consistent" in out
+        assert "conserved" in out
+
+    def test_explicit_vs_virtual(self):
+        out = run_example("explicit_vs_virtual.py")
+        assert "identical rows" in out
+        assert "virtual_view" in out
+
+    def test_checkpoint_and_replay(self):
+        out = run_example("checkpoint_and_replay.py")
+        assert "no cold start" in out
+        assert "replaying" in out

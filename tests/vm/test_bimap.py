@@ -1,0 +1,126 @@
+"""Unit and property tests for the bidirectional map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.bimap import BiMap
+from repro.vm.errors import BimapError
+
+
+class TestBiMapBasics:
+    def test_insert_and_lookup_both_directions(self):
+        bimap: BiMap[str, int] = BiMap()
+        bimap.insert("a", 1)
+        bimap.insert("b", 2)
+        assert bimap.get_left("a") == 1
+        assert bimap.get_right(2) == "b"
+        assert len(bimap) == 2
+
+    def test_missing_lookups_return_default(self):
+        bimap: BiMap[str, int] = BiMap()
+        assert bimap.get_left("x") is None
+        assert bimap.get_right(9, default=-1) == -1
+
+    def test_contains_and_has(self):
+        bimap: BiMap[str, int] = BiMap()
+        bimap.insert("a", 1)
+        assert "a" in bimap
+        assert bimap.has_left("a")
+        assert bimap.has_right(1)
+        assert not bimap.has_right(2)
+
+    def test_duplicate_left_rejected(self):
+        bimap: BiMap[str, int] = BiMap()
+        bimap.insert("a", 1)
+        with pytest.raises(BimapError):
+            bimap.insert("a", 2)
+
+    def test_duplicate_right_rejected(self):
+        bimap: BiMap[str, int] = BiMap()
+        bimap.insert("a", 1)
+        with pytest.raises(BimapError):
+            bimap.insert("b", 1)
+
+    def test_overwrite_replaces_both_conflicts(self):
+        bimap: BiMap[str, int] = BiMap()
+        bimap.insert("a", 1)
+        bimap.insert("b", 2)
+        bimap.insert("a", 2, overwrite=True)
+        assert bimap.get_left("a") == 2
+        assert not bimap.has_left("b")
+        assert not bimap.has_right(1)
+        assert len(bimap) == 1
+
+    def test_remove_left_and_right(self):
+        bimap: BiMap[str, int] = BiMap()
+        bimap.insert("a", 1)
+        bimap.insert("b", 2)
+        assert bimap.remove_left("a") == 1
+        assert bimap.remove_right(2) == "b"
+        assert len(bimap) == 0
+
+    def test_remove_missing_raises(self):
+        bimap: BiMap[str, int] = BiMap()
+        with pytest.raises(BimapError):
+            bimap.remove_left("nope")
+        with pytest.raises(BimapError):
+            bimap.remove_right(7)
+
+    def test_iteration_and_clear(self):
+        bimap: BiMap[str, int] = BiMap()
+        bimap.insert("a", 1)
+        bimap.insert("b", 2)
+        assert dict(iter(bimap)) == {"a": 1, "b": 2}
+        assert sorted(bimap.lefts()) == ["a", "b"]
+        assert sorted(bimap.rights()) == [1, 2]
+        bimap.clear()
+        assert len(bimap) == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove_left", "remove_right"]),
+            st.integers(0, 15),
+            st.integers(0, 15),
+        ),
+        max_size=60,
+    )
+)
+def test_bimap_matches_model(ops):
+    """The bimap must behave like a pair of mirrored dictionaries."""
+    bimap: BiMap[int, int] = BiMap()
+    model: dict[int, int] = {}
+
+    for op, left, right in ops:
+        if op == "insert":
+            # mirror the overwrite semantics in the model
+            bimap.insert(left, right, overwrite=True)
+            stale_left = next((l for l, r in model.items() if r == right), None)
+            if stale_left is not None:
+                del model[stale_left]
+            model[left] = right
+        elif op == "remove_left":
+            if left in model:
+                assert bimap.remove_left(left) == model.pop(left)
+            else:
+                with pytest.raises(BimapError):
+                    bimap.remove_left(left)
+        else:
+            inverse = {r: l for l, r in model.items()}
+            if right in inverse:
+                assert bimap.remove_right(right) == inverse[right]
+                del model[inverse[right]]
+            else:
+                with pytest.raises(BimapError):
+                    bimap.remove_right(right)
+
+    assert len(bimap) == len(model)
+    for left, right in model.items():
+        assert bimap.get_left(left) == right
+        assert bimap.get_right(right) == left
+    # both directions stay consistent
+    assert sorted(bimap.lefts()) == sorted(model.keys())
+    assert sorted(bimap.rights()) == sorted(model.values())

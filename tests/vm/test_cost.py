@@ -1,0 +1,189 @@
+"""Unit tests for the cost model (parameters, ledger, lanes, regions)."""
+
+import pytest
+
+from repro.vm.cost import (
+    MAIN_LANE,
+    MAPPER_LANE,
+    CostLedger,
+    CostModel,
+    CostParameters,
+)
+
+
+class TestCostParameters:
+    def test_defaults_are_positive(self):
+        params = CostParameters()
+        assert params.seq_value_read_ns > 0
+        assert params.mmap_syscall_ns > params.mmap_per_page_ns
+
+    def test_full_scan_calibration(self):
+        """A 1M-page full scan must land near the paper's ~234 ms."""
+        params = CostParameters()
+        scan_ns = 1_000_000 * params.page_scan_ns(511)
+        assert 150e6 <= scan_ns <= 350e6
+
+    def test_page_scan_kind_ordering(self):
+        params = CostParameters()
+        seq = params.page_scan_ns(511, "seq")
+        prefetched = params.page_scan_ns(511, "prefetched")
+        random = params.page_scan_ns(511, "random")
+        assert seq < prefetched < random
+
+    def test_read_factor_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CostParameters().read_factor("warp")
+
+    def test_read_factor_seq_is_unity(self):
+        assert CostParameters().read_factor("seq") == 1.0
+
+
+class TestCostLedger:
+    def test_charges_accumulate_per_lane(self):
+        ledger = CostLedger()
+        ledger.charge(10.0)
+        ledger.charge(5.0, MAPPER_LANE)
+        ledger.charge(2.5)
+        assert ledger.lane_ns(MAIN_LANE) == pytest.approx(12.5)
+        assert ledger.lane_ns(MAPPER_LANE) == pytest.approx(5.0)
+
+    def test_unknown_lane_reads_zero(self):
+        assert CostLedger().lane_ns("ghost") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge(-1.0)
+
+    def test_counters(self):
+        ledger = CostLedger()
+        ledger.count("x")
+        ledger.count("x", 4)
+        assert ledger.counter("x") == 5
+        assert ledger.counter("missing") == 0
+        assert ledger.counters() == {"x": 5}
+
+
+class TestRegions:
+    def test_region_captures_lane_deltas(self):
+        cost = CostModel()
+        cost.ledger.charge(100.0)
+        with cost.region() as region:
+            cost.ledger.charge(40.0)
+            cost.ledger.charge(70.0, MAPPER_LANE)
+        assert region.lane_ns(MAIN_LANE) == pytest.approx(40.0)
+        assert region.lane_ns(MAPPER_LANE) == pytest.approx(70.0)
+
+    def test_region_overlap_vs_serial(self):
+        cost = CostModel()
+        with cost.region() as region:
+            cost.ledger.charge(40.0)
+            cost.ledger.charge(70.0, MAPPER_LANE)
+        assert region.elapsed_ns(overlap=True) == pytest.approx(70.0)
+        assert region.elapsed_ns(overlap=False) == pytest.approx(110.0)
+
+    def test_empty_region(self):
+        cost = CostModel()
+        with cost.region() as region:
+            pass
+        assert region.elapsed_ns() == 0.0
+
+    def test_region_counter_deltas(self):
+        cost = CostModel()
+        cost.mmap_call(4)
+        with cost.region() as region:
+            cost.mmap_call(2)
+            cost.mmap_call(3)
+        assert region.counter_deltas["mmap_calls"] == 2
+        assert region.counter_deltas["pages_mapped"] == 5
+
+    def test_nested_regions(self):
+        cost = CostModel()
+        with cost.region() as outer:
+            cost.ledger.charge(10.0)
+            with cost.region() as inner:
+                cost.ledger.charge(5.0)
+        assert inner.lane_ns() == pytest.approx(5.0)
+        assert outer.lane_ns() == pytest.approx(15.0)
+
+
+class TestChargeHelpers:
+    def test_sequential_values(self):
+        cost = CostModel()
+        cost.sequential_values(100)
+        expected = 100 * cost.params.seq_value_read_ns
+        assert cost.ledger.lane_ns() == pytest.approx(expected)
+        assert cost.ledger.counter("values_scanned") == 100
+
+    def test_stream_values_uses_factor(self):
+        cost = CostModel()
+        cost.stream_values(100, "random")
+        expected = (
+            100 * cost.params.seq_value_read_ns * cost.params.random_read_factor
+        )
+        assert cost.ledger.lane_ns() == pytest.approx(expected)
+
+    def test_page_access_kinds(self):
+        cost = CostModel()
+        cost.page_access("seq", 2)
+        cost.page_access("random", 1)
+        expected = (
+            2 * cost.params.seq_page_access_ns + cost.params.random_page_access_ns
+        )
+        assert cost.ledger.lane_ns() == pytest.approx(expected)
+        assert cost.ledger.counter("pages_accessed") == 3
+
+    def test_page_access_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CostModel().page_access("teleport")
+
+    def test_full_page_scan_composition(self):
+        cost = CostModel()
+        cost.full_page_scan(511, 3, kind="seq")
+        p = cost.params
+        expected = 3 * (
+            p.seq_page_access_ns + p.page_header_read_ns + 511 * p.seq_value_read_ns
+        )
+        assert cost.ledger.lane_ns() == pytest.approx(expected)
+        assert cost.ledger.counter("pages_scanned") == 3
+
+    def test_mmap_and_munmap(self):
+        cost = CostModel()
+        cost.mmap_call(10)
+        cost.munmap_call(10)
+        p = cost.params
+        expected = (
+            p.mmap_syscall_ns
+            + 10 * p.mmap_per_page_ns
+            + p.munmap_syscall_ns
+            + 10 * p.mmap_per_page_ns
+        )
+        assert cost.ledger.lane_ns() == pytest.approx(expected)
+        assert cost.ledger.counter("mmap_calls") == 1
+        assert cost.ledger.counter("pages_unmapped") == 10
+
+    def test_bitvector_scan_rounds_to_words(self):
+        cost = CostModel()
+        cost.bitvector_scan(65)  # 2 words
+        assert cost.ledger.counter("bitvector_words_scanned") == 2
+
+    def test_maps_parse(self):
+        cost = CostModel()
+        cost.maps_parse(100)
+        expected = (
+            cost.params.maps_file_open_ns + 100 * cost.params.maps_line_parse_ns
+        )
+        assert cost.ledger.lane_ns() == pytest.approx(expected)
+
+    def test_misc_helpers_count(self):
+        cost = CostModel()
+        cost.soft_fault(3)
+        cost.value_write(2)
+        cost.bimap_op(4)
+        cost.queue_op(5)
+        cost.update_check(6)
+        counters = cost.ledger.counters()
+        assert counters["soft_faults"] == 3
+        assert counters["values_written"] == 2
+        assert counters["bimap_ops"] == 4
+        assert counters["queue_ops"] == 5
+        assert counters["updates_checked"] == 6

@@ -1,0 +1,73 @@
+"""Property test: /proc maps rendering and parsing are lossless.
+
+After any sequence of mapping operations, rendering the address space
+and parsing the text back must reproduce the exact page-level mapping —
+the property the paper's update algorithm depends on (Section 2.5).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.mmap_api import MemoryMapper
+from repro.vm.physical import PhysicalMemory
+from repro.vm.procmaps import MappingSnapshot, parse_maps, render_maps
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["map_file", "map_anon", "remap", "unmap", "protect"]),
+        st.integers(0, 48),
+        st.integers(1, 8),
+        st.integers(0, 56),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_OPS)
+def test_maps_roundtrip_is_page_accurate(ops):
+    memory = PhysicalMemory(capacity_bytes=64 * 1024 * 1024)
+    mapper = MemoryMapper(memory)
+    file = memory.create_file("db", 64)
+
+    for op, start, npages, fpage in ops:
+        fpage = min(fpage, file.num_pages - npages)
+        try:
+            if op == "map_file":
+                mapper.mmap(
+                    npages, addr=start, fixed=True, file=file, file_page=fpage
+                )
+            elif op == "map_anon":
+                mapper.mmap(npages, addr=start, fixed=True)
+            elif op == "remap":
+                mapper.remap_fixed(start, npages, file, fpage)
+            elif op == "unmap":
+                mapper.munmap(start, npages)
+            else:
+                mapper.mprotect(start, npages, "r")
+        except Exception:
+            continue  # invalid op against current state: fine
+
+    asp = mapper.address_space
+
+    # 1. the rendered file parses back to the same page count per kind
+    entries = parse_maps(render_maps(asp))
+    rendered_pages = sum(e.npages for e in entries)
+    mapped_pages = sum(vma.npages for vma in asp.vmas())
+    assert rendered_pages == mapped_pages
+    assert len(entries) == asp.num_vmas
+
+    # 2. the page-wise snapshot equals the true translations
+    snapshot = MappingSnapshot(entries)
+    for vma in asp.vmas():
+        for vpn in range(vma.start, vma.end):
+            truth = asp.translate(vpn)
+            parsed = snapshot.physical_of(vpn)
+            if truth is None:
+                assert parsed is None
+            else:
+                assert parsed == ("/dev/shm/db", truth[1])
+
+    # 3. reverse direction: every snapshot entry is a true mapping
+    for vpn, (path, fpage) in list(snapshot._forward.items()):
+        assert asp.translate(vpn) == (file, fpage)

@@ -1,0 +1,137 @@
+"""Unit and property tests for virtual memory areas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.cost import CostModel
+from repro.vm.physical import PhysicalMemory
+from repro.vm.vma import Vma
+
+
+@pytest.fixture
+def file():
+    memory = PhysicalMemory(capacity_bytes=64 * 1024 * 1024, cost=CostModel())
+    return memory.create_file("f", 64)
+
+
+class TestVmaBasics:
+    def test_geometry(self, file):
+        vma = Vma(start=10, npages=4, file=file, file_page=2)
+        assert vma.end == 14
+        assert not vma.anonymous
+        assert vma.contains(13)
+        assert not vma.contains(14)
+
+    def test_anonymous(self):
+        vma = Vma(start=0, npages=2)
+        assert vma.anonymous
+        assert vma.translate(1) is None
+
+    def test_validation(self, file):
+        with pytest.raises(ValueError):
+            Vma(start=0, npages=0)
+        with pytest.raises(ValueError):
+            Vma(start=-1, npages=1)
+
+    def test_translate(self, file):
+        vma = Vma(start=10, npages=4, file=file, file_page=20)
+        assert vma.translate(12) == (file, 22)
+        with pytest.raises(ValueError):
+            vma.translate(14)
+
+    def test_overlaps(self):
+        vma = Vma(start=10, npages=4)
+        assert vma.overlaps(13, 1)
+        assert vma.overlaps(8, 3)
+        assert not vma.overlaps(14, 2)
+        assert not vma.overlaps(6, 4)
+
+
+class TestVmaMerge:
+    def test_merge_file_backed_contiguous(self, file):
+        a = Vma(start=0, npages=2, file=file, file_page=10)
+        b = Vma(start=2, npages=3, file=file, file_page=12)
+        assert a.can_merge_with(b)
+        merged = a.merged_with(b)
+        assert merged.npages == 5
+        assert merged.translate(4) == (file, 14)
+
+    def test_no_merge_with_file_gap(self, file):
+        a = Vma(start=0, npages=2, file=file, file_page=10)
+        b = Vma(start=2, npages=3, file=file, file_page=13)
+        assert not a.can_merge_with(b)
+
+    def test_no_merge_with_virtual_gap(self, file):
+        a = Vma(start=0, npages=2, file=file, file_page=10)
+        b = Vma(start=3, npages=1, file=file, file_page=12)
+        assert not a.can_merge_with(b)
+
+    def test_no_merge_across_flags(self, file):
+        a = Vma(start=0, npages=2, file=file, file_page=0, shared=True)
+        b = Vma(start=2, npages=2, file=file, file_page=2, shared=False)
+        assert not a.can_merge_with(b)
+
+    def test_no_merge_across_files(self, file):
+        other = file._memory.create_file("g", 8)
+        a = Vma(start=0, npages=2, file=file, file_page=0)
+        b = Vma(start=2, npages=2, file=other, file_page=2)
+        assert not a.can_merge_with(b)
+
+    def test_anonymous_merge(self):
+        a = Vma(start=0, npages=2)
+        b = Vma(start=2, npages=2)
+        assert a.can_merge_with(b)
+        assert a.merged_with(b).npages == 4
+
+    def test_merge_rejects_incompatible(self, file):
+        a = Vma(start=0, npages=2, file=file, file_page=0)
+        b = Vma(start=5, npages=2, file=file, file_page=2)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestVmaSplit:
+    def test_split_file_backed(self, file):
+        vma = Vma(start=10, npages=6, file=file, file_page=20)
+        head, tail = vma.split_at(12)
+        assert (head.start, head.npages, head.file_page) == (10, 2, 20)
+        assert (tail.start, tail.npages, tail.file_page) == (12, 4, 22)
+
+    def test_split_anonymous(self):
+        head, tail = Vma(start=0, npages=4).split_at(1)
+        assert head.npages == 1 and tail.npages == 3
+        assert tail.file_page == 0
+
+    def test_split_bounds(self):
+        vma = Vma(start=10, npages=4)
+        for bad in (10, 14, 9, 15):
+            with pytest.raises(ValueError):
+                vma.split_at(bad)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    start=st.integers(0, 100),
+    npages=st.integers(2, 50),
+    file_page=st.integers(0, 100),
+    cut=st.data(),
+)
+def test_split_then_merge_roundtrip(start, npages, file_page, cut):
+    """Splitting any VMA and merging the halves reproduces the original."""
+    vma = Vma(start=start, npages=npages, file=None, file_page=0)
+    point = cut.draw(st.integers(start + 1, start + npages - 1))
+    head, tail = vma.split_at(point)
+    assert head.can_merge_with(tail)
+    merged = head.merged_with(tail)
+    assert merged == vma
+
+    # translations of a file-backed VMA survive split at every page
+    memory = PhysicalMemory(capacity_bytes=512 * 4096 + 4096)
+    file = memory.create_file("f", min(file_page + npages, 512) or 1)
+    if file_page + npages <= file.num_pages:
+        fvma = Vma(start=start, npages=npages, file=file, file_page=file_page)
+        fhead, ftail = fvma.split_at(point)
+        for vpn in range(start, start + npages):
+            part = fhead if fhead.contains(vpn) else ftail
+            assert part.translate(vpn) == fvma.translate(vpn)

@@ -1,0 +1,117 @@
+"""Unit tests for the Figure 2 data distributions."""
+
+import numpy as np
+import pytest
+
+from repro.vm.constants import VALUES_PER_PAGE
+from repro.workloads import distributions as dist
+
+
+class TestUniform:
+    def test_size_and_domain(self):
+        values = dist.uniform(10, 0, 1000, seed=1)
+        assert values.size == 10 * VALUES_PER_PAGE
+        assert values.min() >= 0 and values.max() <= 1000
+
+    def test_deterministic(self):
+        assert np.array_equal(dist.uniform(4, seed=7), dist.uniform(4, seed=7))
+        assert not np.array_equal(dist.uniform(4, seed=7), dist.uniform(4, seed=8))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            dist.uniform(4, 10, 10)
+
+
+class TestSine:
+    def test_periodicity(self):
+        values = dist.sine(400, 0, 1_000_000, period_pages=100, seed=1)
+        mins, maxs = dist.per_page_min_max(values)
+        levels = (mins + maxs) / 2
+        # pages one period apart sit at nearly the same level
+        diffs = np.abs(levels[:300] - levels[100:400])
+        assert np.median(diffs) < 0.05 * 1_000_000
+
+    def test_covers_full_amplitude(self):
+        values = dist.sine(200, 0, 1_000_000, seed=1)
+        assert values.min() < 100_000
+        assert values.max() > 900_000
+
+    def test_values_clipped_to_domain(self):
+        values = dist.sine(100, 0, 1000, seed=1)
+        assert values.min() >= 0 and values.max() <= 1000
+
+    def test_pages_are_clustered(self):
+        values = dist.sine(100, 0, 1_000_000, jitter_fraction=0.005, seed=1)
+        mins, maxs = dist.per_page_min_max(values)
+        spans = maxs - mins
+        assert np.median(spans) < 0.02 * 1_000_000
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            dist.sine(10, period_pages=0)
+
+
+class TestLinear:
+    def test_monotone_page_levels(self):
+        values = dist.linear(100, 0, 1_000_000, seed=1)
+        mins, maxs = dist.per_page_min_max(values)
+        levels = (mins + maxs) / 2
+        correlation = np.corrcoef(np.arange(100), levels)[0, 1]
+        assert correlation > 0.99
+
+    def test_spans_domain(self):
+        values = dist.linear(100, 0, 1_000_000, seed=1)
+        mins, maxs = dist.per_page_min_max(values)
+        assert mins[0] < 50_000
+        assert maxs[-1] > 950_000
+
+
+class TestSparse:
+    def test_zero_fraction(self):
+        values = dist.sparse(100, 0, 1_000_000, seed=1)
+        mins, maxs = dist.per_page_min_max(values)
+        zero_pages = int(np.sum((mins == 0) & (maxs == 0)))
+        assert zero_pages == 90
+
+    def test_custom_fraction(self):
+        values = dist.sparse(100, 0, 1_000_000, zero_fraction=0.5, seed=1)
+        mins, maxs = dist.per_page_min_max(values)
+        zero_pages = int(np.sum((mins == 0) & (maxs == 0)))
+        assert zero_pages == 50
+
+    def test_bad_fraction_rejected(self):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                dist.sparse(10, zero_fraction=bad)
+
+    def test_data_pages_are_uniform(self):
+        values = dist.sparse(100, 0, 1_000_000, seed=1)
+        data_values = values[values > 0]
+        assert data_values.size > 0
+        assert data_values.max() > 500_000
+
+
+class TestRegistry:
+    def test_generate_by_name(self):
+        values = dist.generate("sine", 10, seed=3)
+        assert values.size == 10 * VALUES_PER_PAGE
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            dist.generate("pareto", 10)
+
+    def test_all_registered_generators_work(self):
+        for name in dist.DISTRIBUTIONS:
+            assert dist.generate(name, 4, seed=0).size == 4 * VALUES_PER_PAGE
+
+
+class TestPerPageMinMax:
+    def test_shapes(self):
+        values = dist.uniform(8, seed=0)
+        mins, maxs = dist.per_page_min_max(values)
+        assert mins.shape == maxs.shape == (8,)
+        assert np.all(mins <= maxs)
+
+    def test_ragged_input_rejected(self):
+        with pytest.raises(ValueError):
+            dist.per_page_min_max(np.arange(VALUES_PER_PAGE + 1))

@@ -1,0 +1,85 @@
+"""Unit tests for the workload extensions (zipf data, drifting queries)."""
+
+import numpy as np
+import pytest
+
+from repro.vm.constants import VALUES_PER_PAGE
+from repro.workloads.distributions import zipf
+from repro.workloads.queries import shifting_hotspot
+
+
+class TestZipf:
+    def test_size_and_domain(self):
+        values = zipf(10, 0, 1_000_000, seed=1)
+        assert values.size == 10 * VALUES_PER_PAGE
+        assert values.min() >= 0 and values.max() <= 1_000_000
+
+    def test_skew_toward_low_values(self):
+        values = zipf(20, 0, 1_000_000, seed=1)
+        below_half = np.mean(values < 500_000)
+        assert below_half > 0.6
+
+    def test_higher_alpha_is_more_skewed(self):
+        mild = zipf(20, 0, 1_000_000, alpha=1.1, seed=1)
+        steep = zipf(20, 0, 1_000_000, alpha=3.0, seed=1)
+        assert np.median(steep) <= np.median(mild)
+
+    def test_deterministic(self):
+        assert np.array_equal(zipf(4, seed=5), zipf(4, seed=5))
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            zipf(4, alpha=1.0)
+
+    def test_registered(self):
+        from repro.workloads.distributions import DISTRIBUTIONS
+
+        assert "zipf" in DISTRIBUTIONS
+
+
+class TestShiftingHotspot:
+    def test_count_and_width(self):
+        seq = shifting_hotspot(num_queries=50, selectivity=0.01, seed=1)
+        assert len(seq) == 50
+        widths = {q.width for q in seq}
+        assert len(widths) == 1
+
+    def test_hotspot_drifts(self):
+        seq = shifting_hotspot(
+            num_queries=100, selectivity=0.01, num_phases=5, seed=2
+        )
+        first_phase = [q.lo for q in seq.queries[:20]]
+        last_phase = [q.lo for q in seq.queries[-20:]]
+        assert max(first_phase) < min(last_phase)
+
+    def test_queries_fit_domain(self):
+        seq = shifting_hotspot(num_queries=80, domain=(0, 10**8), seed=3)
+        for q in seq:
+            assert 0 <= q.lo <= q.hi <= 10**8
+
+    def test_phase_locality(self):
+        """Queries within a phase stay inside the hotspot window."""
+        seq = shifting_hotspot(
+            num_queries=100,
+            selectivity=0.01,
+            num_phases=5,
+            hotspot_fraction=0.2,
+            domain=(0, 10**8),
+            seed=4,
+        )
+        for start in range(0, 100, 20):
+            phase = seq.queries[start : start + 20]
+            span = max(q.hi for q in phase) - min(q.lo for q in phase)
+            assert span <= 0.2 * 10**8 + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shifting_hotspot(selectivity=0.5, hotspot_fraction=0.2)
+        with pytest.raises(ValueError):
+            shifting_hotspot(num_queries=0)
+        with pytest.raises(ValueError):
+            shifting_hotspot(num_phases=0)
+
+    def test_single_phase(self):
+        seq = shifting_hotspot(num_queries=10, num_phases=1, seed=5)
+        assert len(seq) == 10

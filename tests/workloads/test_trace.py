@@ -1,0 +1,132 @@
+"""Unit tests for workload traces (record / save / load / replay)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.workloads.trace import (
+    ReplayResult,
+    TraceOp,
+    WorkloadTrace,
+    replay,
+)
+
+from ..conftest import reference_rows
+
+
+@pytest.fixture
+def db():
+    database = AdaptiveDatabase(AdaptiveConfig(max_views=5))
+    database.create_table(
+        "t", {"x": np.sort(np.random.default_rng(0).integers(0, 10_000, 4088))}
+    )
+    yield database
+    database.close()
+
+
+def sample_trace():
+    trace = WorkloadTrace()
+    trace.record_query(100, 2000)
+    trace.record_update(5, 1500)
+    trace.record_flush()
+    trace.record_query(100, 2000)
+    return trace
+
+
+class TestTraceOps:
+    def test_roundtrip_each_kind(self):
+        for op in sample_trace():
+            assert TraceOp.from_dict(op.to_dict()) == op
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceOp.from_dict({"kind": "teleport"})
+        with pytest.raises(ValueError):
+            TraceOp(kind="teleport").to_dict()
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = trace.save(tmp_path / "trace.json")
+        loaded = WorkloadTrace.load(path)
+        assert list(loaded) == list(trace)
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "ops": []}))
+        with pytest.raises(ValueError):
+            WorkloadTrace.load(path)
+
+
+class TestReplay:
+    def test_replay_counts(self, db):
+        result = replay(sample_trace(), db, "t", "x")
+        assert isinstance(result, ReplayResult)
+        assert len(result.query_stats) == 2
+        assert result.updates_applied == 1
+        assert result.flushes == 1
+        assert result.simulated_seconds > 0
+
+    def test_replay_results_are_exact(self, db):
+        result = replay(sample_trace(), db, "t", "x")
+        column = db.table("t").column("x")
+        expected = reference_rows(column.values(), 100, 2000).size
+        assert result.query_stats[-1].result_rows == expected
+
+    def test_replay_is_deterministic_across_databases(self, tmp_path):
+        trace = sample_trace()
+        outcomes = []
+        for _ in range(2):
+            db = AdaptiveDatabase(AdaptiveConfig(max_views=5))
+            db.create_table(
+                "t",
+                {"x": np.sort(np.random.default_rng(0).integers(0, 10_000, 4088))},
+            )
+            result = replay(trace, db, "t", "x")
+            outcomes.append(
+                (result.total_rows, round(result.simulated_seconds, 12))
+            )
+            db.close()
+        assert outcomes[0] == outcomes[1]
+
+    def test_second_query_benefits_from_first(self, db):
+        result = replay(sample_trace(), db, "t", "x")
+        first, second = result.query_stats
+        assert second.pages_scanned <= first.pages_scanned
+
+
+class TestRecordingLayer:
+    def test_records_while_forwarding(self, db):
+        from repro.workloads.trace import RecordingLayer
+
+        layer = db.layer("t", "x")
+        recorder = RecordingLayer(layer)
+        recorder.answer_query(0, 500)
+        recorder.write(3, 250)
+        from repro.storage.updates import UpdateBatch, UpdateRecord
+
+        recorder.apply_updates(
+            UpdateBatch([UpdateRecord(row=3, old=0, new=250)])
+        )
+        kinds = [op.kind for op in recorder.trace]
+        assert kinds == ["query", "update", "flush"]
+
+    def test_recorded_trace_replays(self, db, tmp_path):
+        from repro.workloads.trace import RecordingLayer
+
+        recorder = RecordingLayer(db.layer("t", "x"))
+        recorder.answer_query(0, 500)
+        recorder.answer_query(600, 900)
+        path = recorder.trace.save(tmp_path / "t.json")
+
+        fresh = AdaptiveDatabase(AdaptiveConfig(max_views=5))
+        fresh.create_table(
+            "t", {"x": np.sort(np.random.default_rng(0).integers(0, 10_000, 4088))}
+        )
+        result = replay(WorkloadTrace.load(path), fresh, "t", "x")
+        assert len(result.query_stats) == 2
+        fresh.close()
