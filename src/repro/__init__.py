@@ -40,6 +40,14 @@ from .core import (
     inspect_view_index,
     render_index_report,
 )
+from .obs import (
+    MetricsRegistry,
+    Observer,
+    Tracer,
+    render_metrics_json,
+    render_prometheus,
+    render_trace_tree,
+)
 from .storage import Catalog, PhysicalColumn, Table, UpdateBatch, UpdateRecord
 from .vm import (
     CostModel,
@@ -68,6 +76,8 @@ __all__ = [
     "CostParameters",
     "MaintenanceStats",
     "MemoryMapper",
+    "MetricsRegistry",
+    "Observer",
     "PAGE_SIZE",
     "PhysicalColumn",
     "PhysicalMemory",
@@ -76,6 +86,10 @@ __all__ = [
     "RoutingMode",
     "SequenceStats",
     "Table",
+    "Tracer",
+    "render_metrics_json",
+    "render_prometheus",
+    "render_trace_tree",
     "UpdateBatch",
     "UpdateRecord",
     "VALUES_PER_PAGE",

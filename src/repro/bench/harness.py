@@ -98,6 +98,9 @@ class SequenceRun:
     stats: SequenceStats = field(default_factory=SequenceStats)
     #: Row-count checksum, used to cross-validate engines.
     total_rows: int = 0
+    #: Metrics-registry snapshot taken after the run, when the layer was
+    #: observed (see :mod:`repro.obs`); None otherwise.
+    metrics: dict[str, object] | None = None
 
     @property
     def accumulated_seconds(self) -> float:
@@ -108,12 +111,20 @@ class SequenceRun:
 def run_adaptive_sequence(
     layer: AdaptiveStorageLayer, queries: QuerySequence
 ) -> SequenceRun:
-    """Fire a query sequence at an adaptive storage layer."""
+    """Fire a query sequence at an adaptive storage layer.
+
+    If the layer carries a live observer, the run's :attr:`metrics`
+    holds a snapshot of its metrics registry afterwards, so benchmark
+    reports can show substrate-level counters next to the timings.
+    """
     run = SequenceRun(engine="adaptive")
     for query in queries:
         result = layer.answer_query(query.lo, query.hi)
         run.stats.append(result.stats)
         run.total_rows += len(result)
+    observer = getattr(layer, "observer", None)
+    if observer is not None and observer.enabled:
+        run.metrics = observer.metrics.snapshot()
     return run
 
 

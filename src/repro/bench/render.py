@@ -112,6 +112,11 @@ def render_fig4(result: Fig4Result) -> str:
         pages = [float(q.pages_scanned) for q in series.adaptive.stats.queries]
         lines.append(f"  {name:>7} time  {sparkline(per_query)}")
         lines.append(f"  {name:>7} pages {sparkline(pages)}")
+    lines.append("")
+    lines.append("slowest adaptive query per distribution:")
+    for name, series in result.series.items():
+        slowest = max(series.adaptive.stats.queries, key=lambda q: q.sim_ns)
+        lines.append(f"  {name:>7} {slowest.describe()}")
     lines.append(
         "paper shape: early queries cost about a full scan plus view-"
         "creation overhead; later queries answer from partial views and "

@@ -158,6 +158,40 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--pages", type=int, default=None)
     export.add_argument("--queries", type=int, default=250)
 
+    from .obs.capture import EXPERIMENTS
+
+    for name, help_text in (
+        ("trace", "run an observed workload and print its trace span trees"),
+        ("metrics", "run an observed workload and print its metrics dump"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "experiment",
+            choices=EXPERIMENTS,
+            help="data distribution to run the observed workload on",
+        )
+        sub.add_argument("--pages", type=int, default=None)
+        sub.add_argument("--queries", type=int, default=32)
+        if name == "trace":
+            sub.add_argument(
+                "--roots",
+                type=int,
+                default=4,
+                help="number of span trees to print, newest last (default: 4)",
+            )
+            sub.add_argument(
+                "--jsonl",
+                type=str,
+                default=None,
+                help="also write every captured span to this JSONL file",
+            )
+        else:
+            sub.add_argument(
+                "--json",
+                action="store_true",
+                help="emit JSON instead of the Prometheus text format",
+            )
+
     regress = subparsers.add_parser(
         "regress", help="compare two exported result directories"
     )
@@ -182,6 +216,39 @@ def _run_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    from .obs.capture import run_observed_workload
+    from .obs.exporters import render_trace_tree, trace_to_jsonl
+
+    captured = run_observed_workload(
+        args.experiment, num_pages=args.pages, num_queries=args.queries
+    )
+    print(render_trace_tree(captured.observer.tracer, max_roots=args.roots))
+    slowest = max(captured.run.stats.queries, key=lambda q: q.sim_ns)
+    print(f"\nslowest query: {slowest.describe()}")
+    if captured.maintenance is not None:
+        print(f"maintenance:   {captured.maintenance.describe()}")
+    if args.jsonl:
+        with open(args.jsonl, "w") as f:
+            f.write(trace_to_jsonl(captured.observer.tracer))
+        print(f"[all spans written to {args.jsonl}]")
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    from .obs.capture import run_observed_workload
+    from .obs.exporters import render_metrics_json, render_prometheus
+
+    captured = run_observed_workload(
+        args.experiment, num_pages=args.pages, num_queries=args.queries
+    )
+    if args.json:
+        print(render_metrics_json(captured.observer.metrics))
+    else:
+        print(render_prometheus(captured.observer.metrics))
+    return 0
+
+
 def _run_regress(args: argparse.Namespace) -> int:
     from .bench.regress import compare_suites
 
@@ -197,6 +264,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_export(args)
     if args.command == "regress":
         return _run_regress(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
     runner, _ = _COMMANDS[args.command]
     started = time.time()
     report = runner(args)

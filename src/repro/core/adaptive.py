@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..storage.page import clamp_range
 from ..storage.updates import UpdateBatch
@@ -54,11 +55,18 @@ class AdaptiveStorageLayer:
     """Adaptive virtual-view indexing fused into one column's storage."""
 
     def __init__(
-        self, column: PhysicalColumn, config: AdaptiveConfig | None = None
+        self,
+        column: PhysicalColumn,
+        config: AdaptiveConfig | None = None,
+        observer: NullObserver | None = None,
     ) -> None:
         self.column = column
         self.config = config or AdaptiveConfig()
-        self.view_index = ViewIndex(column, self.config)
+        #: Observability sink (spans, metrics, events); the shared no-op
+        #: observer when observation is off, so the hot path stays free
+        #: of conditionals and of simulated-time side effects.
+        self.observer = observer or NULL_OBSERVER
+        self.view_index = ViewIndex(column, self.config, observer=self.observer)
         self._background: BackgroundMapper | None = None
         if self.config.background_mapping:
             self._background = BackgroundMapper(column.mapper.cost)
@@ -75,24 +83,43 @@ class AdaptiveStorageLayer:
             raise ValueError(f"inverted query range [{lo}, {hi}]")
         lo, hi = clamp_range(lo, hi)
         cost = self.column.mapper.cost
+        obs = self.observer
 
-        with self._lock, cost.region() as region:
-            views = self.view_index.get_optimal_views(lo, hi)
-            routed = scan_views(self.column, views, lo, hi)
+        with self._lock, cost.region() as region, obs.span(
+            "query", lo=lo, hi=hi
+        ) as qspan:
+            with obs.span("route") as rspan:
+                views = self.view_index.get_optimal_views(lo, hi)
+                rspan.set(views=len(views))
+            with obs.span("scan", views=len(views)) as sspan:
+                routed = scan_views(self.column, views, lo, hi, observer=obs)
+                sspan.set(pages=routed.pages_scanned)
 
             event = ViewEvent.NONE
             candidate_pages = 0
             if not self.view_index.generation_stopped:
-                candidate = VirtualView(self.column, lo, hi)
-                materialize_pages(
-                    candidate,
-                    routed.qualifying_fpages,
-                    coalesce=self.config.coalesce_mmap,
-                    background=self._background,
-                )
-                candidate.update_range(routed.extended_lo, routed.extended_hi)
-                candidate_pages = candidate.num_pages
-                event = self.view_index.consider_candidate(candidate)
+                with obs.span(
+                    "candidate",
+                    lo=routed.extended_lo,
+                    hi=routed.extended_hi,
+                ) as cspan:
+                    candidate = VirtualView(self.column, lo, hi)
+                    materialize_pages(
+                        candidate,
+                        routed.qualifying_fpages,
+                        coalesce=self.config.coalesce_mmap,
+                        background=self._background,
+                        observer=obs,
+                    )
+                    candidate.update_range(routed.extended_lo, routed.extended_hi)
+                    candidate_pages = candidate.num_pages
+                    event = self.view_index.consider_candidate(candidate)
+                    cspan.set(pages=candidate_pages, event=event.value)
+            qspan.set(
+                pages_scanned=routed.pages_scanned,
+                views_used=routed.views_used,
+                rows=int(routed.rowids.size),
+            )
 
         stats = QueryStats(
             lo=lo,
@@ -105,6 +132,7 @@ class AdaptiveStorageLayer:
             candidate_pages=candidate_pages,
             partial_views_after=self.view_index.num_partials,
         )
+        obs.on_query(stats)
         return QueryResult(rowids=routed.rowids, values=routed.values, stats=stats)
 
     # -- update handling (Sections 2.4 / 2.5) ------------------------------
@@ -119,7 +147,10 @@ class AdaptiveStorageLayer:
         """
         with self._lock:
             return align_partial_views(
-                self.column, self.view_index.partial_views, batch
+                self.column,
+                self.view_index.partial_views,
+                batch,
+                observer=self.observer,
             )
 
     # -- lifecycle -----------------------------------------------------------

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..vm.cost import MAIN_LANE, MAPPER_LANE, CostModel
 from .routing import scan_views
@@ -102,6 +103,7 @@ def materialize_pages(
     coalesce: bool = True,
     background: BackgroundMapper | None = None,
     lane: str = MAIN_LANE,
+    observer: NullObserver | None = None,
 ) -> int:
     """Map the qualifying pages into a fresh view; returns mmap calls used.
 
@@ -110,21 +112,29 @@ def materialize_pages(
     With a ``background`` mapper, the calls run on the mapping thread and
     this function returns only after the view is completely mapped.
     """
+    obs = observer or NULL_OBSERVER
     fpages = np.asarray(fpages, dtype=np.int64)
     if fpages.size == 0:
         return 0
-    if coalesce:
-        runs = consecutive_runs(fpages)
-    else:
-        runs = [fpages[i : i + 1] for i in range(fpages.size)]
-    for run in runs:
-        request = view.plan_run(run)
-        if background is not None:
-            background.submit(view, request)
+    with obs.span(
+        "map-pages",
+        pages=int(fpages.size),
+        coalesce=coalesce,
+        background=background is not None,
+    ) as mspan:
+        if coalesce:
+            runs = consecutive_runs(fpages)
         else:
-            view.execute_request(request, lane=lane)
-    if background is not None:
-        background.flush()
+            runs = [fpages[i : i + 1] for i in range(fpages.size)]
+        for run in runs:
+            request = view.plan_run(run)
+            if background is not None:
+                background.submit(view, request)
+            else:
+                view.execute_request(request, lane=lane)
+        if background is not None:
+            background.flush()
+        mspan.set(runs=len(runs))
     return len(runs)
 
 

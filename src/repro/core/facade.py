@@ -12,6 +12,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..obs.observer import Observer
 from ..storage.table import Catalog, Table
 from ..vm.cost import CostModel
 from ..vm.physical import PhysicalMemory
@@ -29,16 +30,34 @@ class AdaptiveDatabase:
         capacity_bytes: int = PhysicalMemory.DEFAULT_CAPACITY_BYTES,
         cost: CostModel | None = None,
         auto_flush_threshold: int | None = None,
+        observe: bool | Observer = False,
     ) -> None:
         """``auto_flush_threshold`` enables automatic batch view
         realignment: once a column's pending update log reaches the
         threshold, :meth:`update` triggers a flush (Section 2.4 argues
-        for adjustable batches; this is the adjustable policy)."""
+        for adjustable batches; this is the adjustable policy).
+
+        ``observe=True`` attaches an :class:`~repro.obs.observer.Observer`
+        (exposed as :attr:`observer`): every layer then records trace
+        spans, metrics and lifecycle events.  Pass a pre-built
+        :class:`Observer` to share one across databases.  Off by default:
+        no observation work happens, and simulated timings are identical
+        either way because observation never charges the cost ledger.
+        """
         if auto_flush_threshold is not None and auto_flush_threshold < 1:
             raise ValueError("auto_flush_threshold must be positive")
         self.config = config or AdaptiveConfig()
         self.auto_flush_threshold = auto_flush_threshold
         self.catalog = Catalog(PhysicalMemory(capacity_bytes, cost=cost))
+        #: The attached observer, or None when observation is off.
+        self.observer: Observer | None = None
+        if observe:
+            self.observer = (
+                observe
+                if isinstance(observe, Observer)
+                else Observer(self.catalog.cost.ledger)
+            )
+            self.catalog.mapper.observer = self.observer
         self._layers: dict[tuple[str, str], AdaptiveStorageLayer] = {}
 
     @property
@@ -61,7 +80,9 @@ class AdaptiveDatabase:
         key = (table_name, column_name)
         if key not in self._layers:
             column = self.table(table_name).column(column_name)
-            self._layers[key] = AdaptiveStorageLayer(column, self.config)
+            self._layers[key] = AdaptiveStorageLayer(
+                column, self.config, observer=self.observer
+            )
         return self._layers[key]
 
     # -- queries ----------------------------------------------------------

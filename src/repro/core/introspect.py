@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..vm.constants import PAGE_SIZE
+from ..vm.procmaps import maps_line_count
 from .view import VirtualView
 from .view_index import ViewIndex
 
@@ -116,7 +117,7 @@ def inspect_view_index(index: ViewIndex) -> IndexReport:
     report.virtual_amplification = (
         reserved / column.num_pages if column.num_pages else 0.0
     )
-    report.maps_lines = column.mapper.address_space.num_vmas
+    report.maps_lines = maps_line_count(column.mapper.address_space)
     report.recent_decisions = [
         event.describe() for event in index.history[-5:]
     ]

@@ -24,6 +24,7 @@ and discarded after the batch.
 
 from __future__ import annotations
 
+from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..storage.updates import UpdateBatch
 from ..vm.cost import MAIN_LANE
@@ -58,68 +59,80 @@ def align_partial_views(
     views: list[VirtualView],
     batch: UpdateBatch,
     lane: str = MAIN_LANE,
+    observer: NullObserver | None = None,
 ) -> MaintenanceStats:
     """Align all ``views`` of ``column`` against an applied update batch.
 
     Returns the timing split (maps parsing vs. view updating) and the
     page add/remove counts that Figure 7 plots.
     """
+    obs = observer or NULL_OBSERVER
     cost = column.mapper.cost
     stats = MaintenanceStats(batch_size=len(batch))
 
-    compacted = batch.compact()
-    stats.compacted_size = len(compacted)
-    groups = compacted.group_by_page(column.values_per_page)
-    # Compaction and grouping hash every raw and compacted update once.
-    cost.update_check(len(batch) + len(compacted), lane)
+    with obs.span("maintenance", batch=len(batch), views=len(views)) as span:
+        compacted = batch.compact()
+        stats.compacted_size = len(compacted)
+        groups = compacted.group_by_page(column.values_per_page)
+        # Compaction and grouping hash every raw and compacted update once.
+        cost.update_check(len(batch) + len(compacted), lane)
 
-    # Step 2: parse the memory mappings once for the whole batch.
-    path = f"{SHM_PREFIX}{column.file.name}"
-    with cost.region() as parse_region:
-        snapshot = snapshot_address_space(
-            column.mapper.address_space,
-            cost=cost,
-            lane=lane,
-            file_filter=path,
-        )
-    stats.parse_ns = parse_region.lane_ns(lane)
-    stats.maps_lines = parse_region.counter_deltas.get("maps_lines_parsed", 0)
+        # Step 2: parse the memory mappings once for the whole batch.
+        path = f"{SHM_PREFIX}{column.file.name}"
+        with cost.region() as parse_region, obs.span("maps-parse"):
+            snapshot = snapshot_address_space(
+                column.mapper.address_space,
+                cost=cost,
+                lane=lane,
+                file_filter=path,
+            )
+        stats.parse_ns = parse_region.lane_ns(lane)
+        stats.maps_lines = parse_region.counter_deltas.get("maps_lines_parsed", 0)
+        obs.on_maps_parse(stats.maps_lines)
 
-    with cost.region() as update_region:
-        for view in views:
-            if view.is_full_view:
-                continue
-            a, b = view.lo, view.hi
-            for fpage, updates in groups.items():
-                # Inspecting the update group: one pass over its records
-                # plus the bimap round trip answering "is this physical
-                # page indexed by this view?".
-                cost.update_check(len(updates), lane)
-                indexed = _is_indexed(snapshot, view, path, fpage)
-                cost.bimap_op(2, lane)
-                any_new_in = any(a <= u.new <= b for u in updates)
-
-                if not indexed:
-                    if any_new_in:
-                        view.add_page(fpage, lane=lane)
-                        snapshot.map(view.vpn_of(fpage), (path, fpage), lane)
-                        stats.pages_added += 1
+        with cost.region() as update_region, obs.span("align-views"):
+            for view in views:
+                if view.is_full_view:
                     continue
+                a, b = view.lo, view.hi
+                for fpage, updates in groups.items():
+                    # Inspecting the update group: one pass over its records
+                    # plus the bimap round trip answering "is this physical
+                    # page indexed by this view?".
+                    cost.update_check(len(updates), lane)
+                    indexed = _is_indexed(snapshot, view, path, fpage)
+                    cost.bimap_op(2, lane)
+                    any_new_in = any(a <= u.new <= b for u in updates)
 
-                if any_new_in:
-                    continue  # still holds an in-range value, stays indexed
-                any_old_in = any(a <= u.old <= b for u in updates)
-                if not any_old_in:
-                    continue  # updates never touched this view's range
-                # An in-range value may have been overwritten: only a full
-                # page scan can prove the page no longer qualifies.
-                result = column.scan_page(fpage, a, b, access_kind="random", lane=lane)
-                if result.empty:
-                    vpn = view.vpn_of(fpage)
-                    view.remove_page(fpage, lane=lane)
-                    snapshot.unmap(vpn, lane)
-                    stats.pages_removed += 1
-    stats.update_ns = update_region.lane_ns(lane)
+                    if not indexed:
+                        if any_new_in:
+                            view.add_page(fpage, lane=lane)
+                            snapshot.map(view.vpn_of(fpage), (path, fpage), lane)
+                            stats.pages_added += 1
+                        continue
+
+                    if any_new_in:
+                        continue  # still holds an in-range value, stays indexed
+                    any_old_in = any(a <= u.old <= b for u in updates)
+                    if not any_old_in:
+                        continue  # updates never touched this view's range
+                    # An in-range value may have been overwritten: only a full
+                    # page scan can prove the page no longer qualifies.
+                    result = column.scan_page(
+                        fpage, a, b, access_kind="random", lane=lane
+                    )
+                    if result.empty:
+                        vpn = view.vpn_of(fpage)
+                        view.remove_page(fpage, lane=lane)
+                        snapshot.unmap(vpn, lane)
+                        stats.pages_removed += 1
+        stats.update_ns = update_region.lane_ns(lane)
+        span.set(
+            maps_lines=stats.maps_lines,
+            pages_added=stats.pages_added,
+            pages_removed=stats.pages_removed,
+        )
+    obs.on_maintenance(stats)
     return stats
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.observer import NullObserver
 from ..storage.table import Table
 from ..vm.cost import MAIN_LANE
 from .adaptive import AdaptiveStorageLayer, QueryResult
@@ -68,16 +69,24 @@ class QueryEngine:
     demand, all sharing the table's cost model).
     """
 
-    def __init__(self, table: Table, config: AdaptiveConfig | None = None) -> None:
+    def __init__(
+        self,
+        table: Table,
+        config: AdaptiveConfig | None = None,
+        observer: "NullObserver | None" = None,
+    ) -> None:
         self.table = table
         self.config = config or AdaptiveConfig()
+        self.observer = observer
         self._layers: dict[str, AdaptiveStorageLayer] = {}
 
     def layer(self, column_name: str) -> AdaptiveStorageLayer:
         """The adaptive layer of one column (created lazily)."""
         if column_name not in self._layers:
             column = self.table.column(column_name)
-            self._layers[column_name] = AdaptiveStorageLayer(column, self.config)
+            self._layers[column_name] = AdaptiveStorageLayer(
+                column, self.config, observer=self.observer
+            )
         return self._layers[column_name]
 
     # -- selection -----------------------------------------------------------

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..vm.cost import MAIN_LANE
 from .scan import NO_ABOVE, NO_BELOW, batch_scan
@@ -55,6 +56,7 @@ def scan_views(
     lo: int,
     hi: int,
     lane: str = MAIN_LANE,
+    observer: NullObserver | None = None,
 ) -> RoutedScan:
     """Scan the selected views to answer the query ``[lo, hi]``.
 
@@ -72,6 +74,7 @@ def scan_views(
             f"not the query range [{lo}, {hi}]"
         )
 
+    obs = observer or NULL_OBSERVER
     cost = column.mapper.cost
     multi = len(views) > 1
     processed: np.ndarray | None = None
@@ -97,8 +100,15 @@ def scan_views(
         if fpages.size == 0:
             continue
         views_used += 1
-        view.charge_first_touch(fpages, lane)
-        result = batch_scan(column, fpages, lo, hi, access_kind="seq", lane=lane)
+        with obs.span(
+            "scan-view",
+            view_lo=int(view.lo),
+            view_hi=int(view.hi),
+            full_view=view.is_full_view,
+        ) as vspan:
+            view.charge_first_touch(fpages, lane)
+            result = batch_scan(column, fpages, lo, hi, access_kind="seq", lane=lane)
+            vspan.set(pages=result.pages_scanned)
         if multi:
             processed[fpages] = True
         pages_scanned += result.pages_scanned

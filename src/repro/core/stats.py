@@ -100,6 +100,17 @@ class QueryStats:
         """Simulated response time in milliseconds."""
         return self.sim_ns / 1e6
 
+    def describe(self) -> str:
+        """One human-readable line (mirrors ViewLifecycleEvent.describe)."""
+        return (
+            f"q[{self.lo}, {self.hi}]: {self.sim_ms:.3f} ms, "
+            f"{self.pages_scanned}p scanned via {self.views_used} view(s), "
+            f"{self.result_rows} rows, candidate {self.view_event.value}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
 
 @dataclass
 class MaintenanceStats:
@@ -124,6 +135,18 @@ class MaintenanceStats:
     def total_ns(self) -> float:
         """Parse plus update time."""
         return self.parse_ns + self.update_ns
+
+    def describe(self) -> str:
+        """One human-readable line (mirrors ViewLifecycleEvent.describe)."""
+        return (
+            f"batch {self.batch_size}→{self.compacted_size}: "
+            f"parse {self.parse_ns / 1e6:.3f} ms ({self.maps_lines} maps lines), "
+            f"update {self.update_ns / 1e6:.3f} ms, "
+            f"+{self.pages_added}p/-{self.pages_removed}p"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
 
 
 @dataclass

@@ -9,6 +9,7 @@ once the limit is reached).
 
 from __future__ import annotations
 
+from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..vm.cost import MAIN_LANE
 from .config import AdaptiveConfig, EvictionPolicy, RoutingMode
@@ -19,9 +20,15 @@ from .view import VirtualView
 class ViewIndex:
     """Full view plus the adaptively created partial views of a column."""
 
-    def __init__(self, column: PhysicalColumn, config: AdaptiveConfig) -> None:
+    def __init__(
+        self,
+        column: PhysicalColumn,
+        config: AdaptiveConfig,
+        observer: NullObserver | None = None,
+    ) -> None:
         self.column = column
         self.config = config
+        self.observer = observer or NULL_OBSERVER
         self.full_view = VirtualView.full_view(column)
         self._partials: list[VirtualView] = []
         #: Once the view limit is hit, generation of new partial views
@@ -224,18 +231,18 @@ class ViewIndex:
         event: ViewEvent,
         other: VirtualView | None = None,
     ) -> ViewEvent:
-        """Append a lifecycle record and return the event."""
-        self.history.append(
-            ViewLifecycleEvent(
-                sequence=len(self.history) + 1,
-                event=event,
-                lo=candidate.lo,
-                hi=candidate.hi,
-                candidate_pages=candidate.num_pages,
-                other_range=(other.lo, other.hi) if other is not None else None,
-                other_pages=other.num_pages if other is not None else None,
-            )
+        """Append a lifecycle record, publish it, and return the event."""
+        record = ViewLifecycleEvent(
+            sequence=len(self.history) + 1,
+            event=event,
+            lo=candidate.lo,
+            hi=candidate.hi,
+            candidate_pages=candidate.num_pages,
+            other_range=(other.lo, other.hi) if other is not None else None,
+            other_pages=other.num_pages if other is not None else None,
         )
+        self.history.append(record)
+        self.observer.on_view_event(record)
         return event
 
     def insert(self, view: VirtualView) -> None:

@@ -1,0 +1,91 @@
+"""Lightweight event bus: lifecycle notifications by topic.
+
+The adaptive layers used to record lifecycle decisions only in private
+journals (:attr:`repro.core.view_index.ViewIndex.history`).  The bus
+lets any component *subscribe* to those moments instead: the view index
+publishes every candidate decision, maintenance publishes batch
+flushes, and the memory mapper publishes mmap/munmap syscalls.
+
+Handlers run synchronously on the publishing thread and must not charge
+the cost ledger (observation stays free in simulated time).  A bounded
+history of recent events is kept for introspection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+#: Topic of view-candidate lifecycle decisions (insert/replace/evict/...).
+TOPIC_VIEW_LIFECYCLE = "view.lifecycle"
+
+#: Topic of batch view realignments (flushes).
+TOPIC_FLUSH = "layer.flush"
+
+#: Topic of answered range queries.
+TOPIC_QUERY = "layer.query"
+
+#: Topic of mmap/munmap syscalls.
+TOPIC_MMAP = "vm.mmap"
+
+#: Topic of /proc/PID/maps parses.
+TOPIC_MAPS_PARSE = "vm.maps_parse"
+
+#: Subscription wildcard: receive every topic.
+ALL_TOPICS = "*"
+
+#: An event handler: ``handler(event)``.
+Handler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published event: a topic plus a payload mapping."""
+
+    topic: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> object:
+        return self.payload[key]
+
+
+class EventBus:
+    """Synchronous topic-based publish/subscribe."""
+
+    def __init__(self, history: int = 256) -> None:
+        self._subscribers: dict[str, list[Handler]] = {}
+        self._recent: deque[Event] = deque(maxlen=history)
+        #: Events ever published (survives history truncation).
+        self.published = 0
+
+    def subscribe(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for ``topic`` (or :data:`ALL_TOPICS`).
+
+        Returns a zero-argument unsubscribe callable.
+        """
+        self._subscribers.setdefault(topic, []).append(handler)
+
+        def unsubscribe() -> None:
+            handlers = self._subscribers.get(topic, [])
+            if handler in handlers:
+                handlers.remove(handler)
+
+        return unsubscribe
+
+    def publish(self, topic: str, **payload: object) -> Event:
+        """Publish one event; handlers run synchronously, in order."""
+        event = Event(topic=topic, payload=payload)
+        self.published += 1
+        self._recent.append(event)
+        for handler in self._subscribers.get(topic, []):
+            handler(event)
+        for handler in self._subscribers.get(ALL_TOPICS, []):
+            handler(event)
+        return event
+
+    def recent(self, topic: str | None = None) -> list[Event]:
+        """Recent events still in the history, optionally filtered."""
+        if topic is None:
+            return list(self._recent)
+        return [event for event in self._recent if event.topic == topic]

@@ -1,0 +1,140 @@
+"""Renderers for the captured traces and metrics.
+
+Four output formats:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` plus one sample line per label set, with the
+  cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple for
+  histograms);
+* :func:`render_metrics_json` — the same registry as one JSON document;
+* :func:`trace_to_jsonl` — one JSON object per finished span (flat,
+  finish order, children linked via ``parent_id``);
+* :func:`render_trace_tree` — the human-readable ASCII span tree shown
+  by ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import Histogram, LabelKey, MetricsRegistry
+from .span import Span, Tracer
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats without the trailing .0."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """Render one label set as ``{name="value",...}`` (empty if none)."""
+    items = [*key, *extra]
+    if not items:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in items
+    )
+    return "{" + body + "}"
+
+
+def _format_bucket_bound(bound: float) -> str:
+    """``le`` label value of one bucket bound."""
+    return _format_value(bound)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registered family in Prometheus text format."""
+    lines: list[str] = []
+    for metric in registry.families():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key, _ in metric.samples():
+                labels = dict(key)
+                cumulative = metric.cumulative_counts(**labels)
+                bounds = [*map(_format_bucket_bound, metric.buckets), "+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(key, (('le', bound),))} {count}"
+                    )
+                sample = metric.sample(**labels)
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(key)} "
+                    f"{_format_value(sample.total)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(key)} {sample.count}"
+                )
+        else:
+            samples = metric.samples()
+            if not samples:
+                # An untouched unlabelled family still exposes its zero.
+                lines.append(f"{metric.name} 0")
+                continue
+            for key, value in samples:
+                lines.append(
+                    f"{metric.name}{_format_labels(key)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_metrics_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """Render the registry snapshot as one JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def trace_to_jsonl(tracer: Tracer) -> str:
+    """One JSON line per finished span still in the ring buffer."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True)
+        for span in tracer.finished_spans()
+    ) + ("\n" if tracer.finished_spans() else "")
+
+
+def _span_line(span: Span, indent: int) -> str:
+    attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+    counters = " ".join(
+        f"{name}={count}"
+        for name, count in sorted(span.counter_deltas.items())
+        if name
+        in ("pages_scanned", "mmap_calls", "munmap_calls", "soft_faults",
+            "maps_lines_parsed")
+    )
+    parts = [f"{'  ' * indent}{span.name}"]
+    if attrs:
+        parts.append(f"[{attrs}]")
+    parts.append(f"{span.duration_ms:.4f} ms")
+    if counters:
+        parts.append(f"({counters})")
+    return " ".join(parts)
+
+
+def render_span_tree(root: Span) -> str:
+    """Render one root span and its descendants as an indented tree."""
+    return "\n".join(
+        _span_line(span, span.depth - root.depth) for span in root.walk()
+    )
+
+
+def render_trace_tree(tracer: Tracer, max_roots: int | None = None) -> str:
+    """Render the buffered root spans (newest last) as ASCII trees."""
+    roots = tracer.roots()
+    if max_roots is not None:
+        roots = roots[-max_roots:] if max_roots > 0 else []
+    header = (
+        f"trace: {tracer.total_spans} spans recorded, "
+        f"{len(tracer.roots())} roots buffered"
+        + (f", {tracer.dropped_spans} dropped" if tracer.dropped_spans else "")
+    )
+    body = [render_span_tree(root) for root in roots]
+    return "\n".join([header, *body])

@@ -1,0 +1,258 @@
+"""The observer threaded through the VM and adaptive layers.
+
+:class:`Observer` bundles the three observability primitives — a
+:class:`~repro.obs.span.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry` and an
+:class:`~repro.obs.events.EventBus` — behind the narrow hook interface
+the instrumented layers call (``span``, ``on_query``, ``on_mmap``, ...).
+
+:data:`NULL_OBSERVER` is the disabled twin: every hook is a no-op and
+``span`` yields a shared inert span, so instrumentation left in place
+costs nothing when observation is off (the default).  Because spans and
+metrics never charge the :class:`~repro.vm.cost.CostLedger`, enabling
+observation does not change simulated timings either.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, ContextManager
+
+from ..vm.cost import MAIN_LANE, CostLedger
+from .events import (
+    TOPIC_FLUSH,
+    TOPIC_MAPS_PARSE,
+    TOPIC_MMAP,
+    TOPIC_QUERY,
+    TOPIC_VIEW_LIFECYCLE,
+    EventBus,
+)
+from .metrics import (
+    PAGE_COUNT_BUCKETS,
+    SIM_NS_BUCKETS,
+    MetricsRegistry,
+)
+from .span import DEFAULT_CAPACITY, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..core.stats import MaintenanceStats, QueryStats, ViewLifecycleEvent
+
+#: Buckets for views-used-per-query (Figure 5 peaks below ten).
+VIEWS_USED_BUCKETS = tuple(float(n) for n in (1, 2, 3, 4, 6, 8, 12, 16, 32))
+
+
+class _NullSpan(Span):
+    """Shared inert span handed out by the null observer."""
+
+    def __init__(self) -> None:
+        super().__init__(name="null", span_id=0, parent_id=None, depth=0)
+
+    def set(self, **attrs: object) -> "Span":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObserver:
+    """Disabled observer: every hook is a no-op.
+
+    Call sites keep a single unconditional reference (``self.observer =
+    observer or NULL_OBSERVER``) instead of sprinkling ``if`` checks;
+    the per-call overhead is one no-op method dispatch.
+    """
+
+    enabled = False
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
+    events: EventBus | None = None
+
+    def span(self, name: str, **attrs: object) -> ContextManager[Span]:
+        """An inert context manager yielding the shared null span."""
+        return nullcontext(_NULL_SPAN)
+
+    def on_query(self, stats: "QueryStats") -> None:
+        """Hook: one routed range query finished."""
+
+    def on_maintenance(self, stats: "MaintenanceStats") -> None:
+        """Hook: one batch view realignment finished."""
+
+    def on_view_event(self, record: "ViewLifecycleEvent") -> None:
+        """Hook: the view index decided a candidate's fate."""
+
+    def on_mmap(self, kind: str, pages: int) -> None:
+        """Hook: one mmap() syscall was issued."""
+
+    def on_munmap(self, pages: int) -> None:
+        """Hook: one munmap() syscall was issued."""
+
+    def on_maps_parse(self, lines: int) -> None:
+        """Hook: /proc/PID/maps was parsed."""
+
+    def on_statement(self, kind: str) -> None:
+        """Hook: one SQL statement executed."""
+
+
+#: The shared disabled observer (observation off, the default).
+NULL_OBSERVER = NullObserver()
+
+
+class Observer(NullObserver):
+    """Live observer: spans, metrics and events, wired to one ledger.
+
+    The standard metric families are registered eagerly so exporters
+    always present a stable schema, even before traffic arrives.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        ledger: CostLedger,
+        max_spans: int = DEFAULT_CAPACITY,
+        lane: str = MAIN_LANE,
+    ) -> None:
+        self.ledger = ledger
+        self.tracer = Tracer(ledger, capacity=max_spans, lane=lane)
+        self.metrics = MetricsRegistry()
+        self.events = EventBus()
+
+        m = self.metrics
+        self._queries = m.counter("queries_total", "Routed range queries answered")
+        self._query_ns = m.histogram(
+            "query_sim_ns", "Simulated response time per query", SIM_NS_BUCKETS
+        )
+        self._pages_scanned = m.histogram(
+            "pages_scanned", "Physical pages scanned per query", PAGE_COUNT_BUCKETS
+        )
+        self._views_used = m.histogram(
+            "views_used", "Views used per query", VIEWS_USED_BUCKETS
+        )
+        self._result_rows = m.counter(
+            "query_result_rows_total", "Rows returned across all queries"
+        )
+        self._view_events = m.counter(
+            "view_lifecycle_events_total", "Candidate-view decisions by outcome"
+        )
+        self._partial_views = m.gauge(
+            "partial_views", "Partial views held after the last query"
+        )
+        self._mmap_calls = m.counter(
+            "mmap_calls_total", "mmap() syscalls by kind (anon/file/fixed)"
+        )
+        self._mmap_pages = m.counter(
+            "mmap_pages_total", "Pages mapped by mmap() syscalls, by kind"
+        )
+        self._munmap_calls = m.counter("munmap_calls_total", "munmap() syscalls")
+        self._flushes = m.counter("flush_total", "Batch view realignments")
+        self._flush_ns = m.histogram(
+            "flush_sim_ns", "Simulated time per realignment batch", SIM_NS_BUCKETS
+        )
+        self._pages_added = m.counter(
+            "flush_pages_added_total", "Pages mapped into views during realignment"
+        )
+        self._pages_removed = m.counter(
+            "flush_pages_removed_total", "Pages removed from views during realignment"
+        )
+        self._maps_lines = m.gauge(
+            "maps_lines", "Lines of the most recent /proc/PID/maps parse"
+        )
+        self._maps_lines_parsed = m.counter(
+            "maps_lines_parsed_total", "Maps-file lines parsed across all batches"
+        )
+        self._statements = m.counter(
+            "sql_statements_total", "SQL statements executed, by kind"
+        )
+
+    def span(self, name: str, **attrs: object) -> ContextManager[Span]:
+        """Open a trace span (see :meth:`repro.obs.span.Tracer.span`)."""
+        return self.tracer.span(name, **attrs)
+
+    # -- layer hooks ----------------------------------------------------
+
+    def on_query(self, stats: "QueryStats") -> None:
+        self._queries.inc()
+        self._query_ns.observe(stats.sim_ns)
+        self._pages_scanned.observe(stats.pages_scanned)
+        self._views_used.observe(stats.views_used)
+        self._result_rows.inc(stats.result_rows)
+        self._partial_views.set(stats.partial_views_after)
+        self.events.publish(
+            TOPIC_QUERY,
+            lo=stats.lo,
+            hi=stats.hi,
+            sim_ns=stats.sim_ns,
+            pages_scanned=stats.pages_scanned,
+            views_used=stats.views_used,
+            view_event=stats.view_event.value,
+        )
+
+    def on_maintenance(self, stats: "MaintenanceStats") -> None:
+        self._flushes.inc()
+        self._flush_ns.observe(stats.total_ns)
+        self._pages_added.inc(stats.pages_added)
+        self._pages_removed.inc(stats.pages_removed)
+        self.events.publish(
+            TOPIC_FLUSH,
+            batch_size=stats.batch_size,
+            compacted_size=stats.compacted_size,
+            parse_ns=stats.parse_ns,
+            update_ns=stats.update_ns,
+            pages_added=stats.pages_added,
+            pages_removed=stats.pages_removed,
+            maps_lines=stats.maps_lines,
+        )
+
+    def on_view_event(self, record: "ViewLifecycleEvent") -> None:
+        self._view_events.inc(event=record.event.value)
+        self.events.publish(
+            TOPIC_VIEW_LIFECYCLE,
+            event=record.event.value,
+            lo=record.lo,
+            hi=record.hi,
+            candidate_pages=record.candidate_pages,
+            sequence=record.sequence,
+        )
+
+    # -- VM hooks -------------------------------------------------------
+
+    def on_mmap(self, kind: str, pages: int) -> None:
+        self._mmap_calls.inc(kind=kind)
+        self._mmap_pages.inc(pages, kind=kind)
+        self.events.publish(TOPIC_MMAP, op="mmap", kind=kind, pages=pages)
+
+    def on_munmap(self, pages: int) -> None:
+        self._munmap_calls.inc()
+        self.events.publish(TOPIC_MMAP, op="munmap", kind="unmap", pages=pages)
+
+    def on_maps_parse(self, lines: int) -> None:
+        self._maps_lines.set(lines)
+        self._maps_lines_parsed.inc(lines)
+        self.events.publish(TOPIC_MAPS_PARSE, lines=lines)
+
+    # -- SQL hooks ------------------------------------------------------
+
+    def on_statement(self, kind: str) -> None:
+        self._statements.inc(kind=kind)
+
+    # -- ledger mirroring -----------------------------------------------
+
+    def sync_ledger(self) -> None:
+        """Mirror the cost ledger into gauges (``sim_lane_ns``/``sim_ops``).
+
+        The ledger is the substrate's source of truth for charged time
+        and operation counts; mirroring it right before an export makes
+        the low-level counters (soft faults, bimap ops, values scanned)
+        visible next to the layer-level metrics.
+        """
+        lanes, counters = self.ledger.snapshot()
+        lane_gauge = self.metrics.gauge(
+            "sim_lane_ns", "Nanoseconds charged per cost-ledger lane"
+        )
+        ops_gauge = self.metrics.gauge(
+            "sim_ops", "Cost-ledger operation counters"
+        )
+        for lane, ns in lanes.items():
+            lane_gauge.set(ns, lane=lane)
+        for op, count in counters.items():
+            ops_gauge.set(count, op=op)

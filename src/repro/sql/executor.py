@@ -77,8 +77,13 @@ class Session:
         self,
         config: AdaptiveConfig | None = None,
         db: AdaptiveDatabase | None = None,
+        observe: bool = False,
     ) -> None:
-        self.db = db or AdaptiveDatabase(config)
+        """``observe=True`` attaches an observer to the session's
+        database: statements get trace spans and metrics (see
+        :mod:`repro.obs`).  Ignored when an existing ``db`` is passed —
+        its own observation setting wins."""
+        self.db = db or AdaptiveDatabase(config, observe=observe)
         self._engines: dict[str, QueryEngine] = {}
         self._statistics = TableStatistics()
         #: CREATE'd but not yet materialized tables: name -> (cols, rows).
@@ -86,9 +91,22 @@ class Session:
 
     # -- public API -------------------------------------------------------
 
+    @property
+    def observer(self):
+        """The database's observer, or None when observation is off."""
+        return self.db.observer
+
     def execute(self, sql: str) -> ResultTable:
         """Parse and execute one statement."""
-        return self._dispatch(parse(sql))
+        statement = parse(sql)
+        obs = self.db.observer
+        if obs is None:
+            return self._dispatch(statement)
+        kind = type(statement).__name__.removesuffix("Statement").upper()
+        with obs.span("statement", kind=kind):
+            result = self._dispatch(statement)
+        obs.on_statement(kind)
+        return result
 
     def close(self) -> None:
         """Shut down all engines and the database."""
@@ -179,7 +197,9 @@ class Session:
                 table = self.db.table(table_name)
             except KeyError as exc:
                 raise ExecutionError(str(exc)) from exc
-            self._engines[table_name] = QueryEngine(table, self.db.config)
+            self._engines[table_name] = QueryEngine(
+                table, self.db.config, observer=self.db.observer
+            )
         return self._engines[table_name]
 
     def _execute_update(self, statement: UpdateStatement) -> ResultTable:

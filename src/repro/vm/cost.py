@@ -187,6 +187,16 @@ class CostLedger:
         with self._lock:
             return dict(self._lanes)
 
+    def snapshot(self) -> tuple[dict[str, float], dict[str, int]]:
+        """Atomic combined snapshot of lanes and counters.
+
+        Timing regions and trace spans (:mod:`repro.obs.span`) diff two
+        of these snapshots; taking both dicts under one lock keeps the
+        pair consistent even while the background mapper is charging.
+        """
+        with self._lock:
+            return dict(self._lanes), dict(self._counters)
+
 
 @dataclass
 class Region:
@@ -254,7 +264,8 @@ class CostModel:
     @contextmanager
     def region(self) -> Iterator[Region]:
         """Open a timing region covering the ``with`` body."""
-        reg = Region(_start=self.ledger.lanes(), _counters_start=self.ledger.counters())
+        lanes, counters = self.ledger.snapshot()
+        reg = Region(_start=lanes, _counters_start=counters)
         try:
             yield reg
         finally:

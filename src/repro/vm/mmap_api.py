@@ -38,6 +38,10 @@ class MemoryMapper:
         self.memory = memory
         self.cost: CostModel = memory.cost
         self.address_space = address_space or AddressSpace()
+        #: Optional :class:`repro.obs.observer.Observer` notified of every
+        #: mmap/munmap syscall (kind and page count).  ``None`` (the
+        #: default) keeps the syscall path free of observation work.
+        self.observer = None
 
     # -- syscalls -----------------------------------------------------------
 
@@ -101,12 +105,17 @@ class MemoryMapper:
             for vpn in range(addr, addr + npages):
                 self.address_space.fault_in(vpn)
             self.cost.soft_fault(npages, lane)
+        if self.observer is not None:
+            kind = "anon" if file is None else ("fixed" if fixed else "file")
+            self.observer.on_mmap(kind, npages)
         return addr
 
     def munmap(self, start: int, npages: int, lane: str = MAIN_LANE) -> int:
         """Unmap ``[start, start + npages)``; returns pages removed."""
         removed = self.address_space.remove_mapping(start, npages)
         self.cost.munmap_call(removed, lane)
+        if self.observer is not None:
+            self.observer.on_munmap(removed)
         return removed
 
     def remap_fixed(

@@ -1,0 +1,46 @@
+"""Event bus: subscribe, publish, wildcard, bounded history."""
+
+from repro.obs.events import ALL_TOPICS, TOPIC_MMAP, Event, EventBus
+
+
+def test_publish_reaches_topic_subscribers_in_order():
+    bus = EventBus()
+    seen = []
+    bus.subscribe("a", lambda e: seen.append(("first", e.topic)))
+    bus.subscribe("a", lambda e: seen.append(("second", e.topic)))
+    bus.subscribe("b", lambda e: seen.append(("other", e.topic)))
+    event = bus.publish("a", x=1)
+    assert isinstance(event, Event)
+    assert event["x"] == 1
+    assert seen == [("first", "a"), ("second", "a")]
+
+
+def test_wildcard_subscriber_sees_every_topic():
+    bus = EventBus()
+    topics = []
+    bus.subscribe(ALL_TOPICS, lambda e: topics.append(e.topic))
+    bus.publish(TOPIC_MMAP, op="mmap")
+    bus.publish("layer.flush")
+    assert topics == [TOPIC_MMAP, "layer.flush"]
+
+
+def test_unsubscribe_stops_delivery():
+    bus = EventBus()
+    seen = []
+    unsubscribe = bus.subscribe("t", seen.append)
+    bus.publish("t")
+    unsubscribe()
+    bus.publish("t")
+    unsubscribe()  # idempotent
+    assert len(seen) == 1
+
+
+def test_history_is_bounded_but_published_total_is_not():
+    bus = EventBus(history=3)
+    for i in range(7):
+        bus.publish("t", i=i)
+    assert bus.published == 7
+    recent = bus.recent()
+    assert [e["i"] for e in recent] == [4, 5, 6]
+    assert [e["i"] for e in bus.recent("t")] == [4, 5, 6]
+    assert bus.recent("other") == []

@@ -1,0 +1,99 @@
+"""Exporter formats: Prometheus text, metrics JSON, span JSONL, trees."""
+
+import json
+
+from repro.obs.exporters import (
+    render_metrics_json,
+    render_prometheus,
+    render_span_tree,
+    render_trace_tree,
+    trace_to_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+from repro.vm.cost import CostLedger
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("mmap_calls_total", "mmap syscalls").inc(2, kind="fixed")
+    registry.counter("queries_total", "queries")
+    registry.gauge("partial_views").set(4)
+    registry.histogram("ns", "durations", buckets=(10.0, 100.0)).observe(42)
+    return registry
+
+
+def test_prometheus_format():
+    text = render_prometheus(populated_registry())
+    lines = text.splitlines()
+    assert "# HELP mmap_calls_total mmap syscalls" in lines
+    assert "# TYPE mmap_calls_total counter" in lines
+    assert 'mmap_calls_total{kind="fixed"} 2' in lines
+    # untouched unlabelled counter still exposes a zero sample
+    assert "queries_total 0" in lines
+    assert "partial_views 4" in lines
+    # histogram: cumulative buckets with +Inf, then _sum/_count
+    assert 'ns_bucket{le="10"} 0' in lines
+    assert 'ns_bucket{le="100"} 1' in lines
+    assert 'ns_bucket{le="+Inf"} 1' in lines
+    assert "ns_sum 42" in lines
+    assert "ns_count 1" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c_total").inc(kind='a"b\\c')
+    text = render_prometheus(registry)
+    assert 'c_total{kind="a\\"b\\\\c"} 1' in text
+
+
+def test_metrics_json_roundtrips():
+    doc = json.loads(render_metrics_json(populated_registry()))
+    assert doc["mmap_calls_total"]["kind"] == "counter"
+    assert doc["ns"]["samples"][0]["value"]["count"] == 1
+
+
+def traced() -> Tracer:
+    ledger = CostLedger()
+    tracer = Tracer(ledger)
+    with tracer.span("query", lo=1, hi=2):
+        with tracer.span("scan"):
+            ledger.charge(2_000_000.0)
+            ledger.count("pages_scanned", 7)
+    return tracer
+
+
+def test_trace_jsonl_one_object_per_span():
+    tracer = traced()
+    lines = trace_to_jsonl(tracer).strip().splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    by_name = {r["name"]: r for r in records}
+    assert by_name["scan"]["parent_id"] == by_name["query"]["span_id"]
+    assert by_name["scan"]["counters"] == {"pages_scanned": 7}
+    assert by_name["query"]["attrs"] == {"lo": 1, "hi": 2}
+
+
+def test_trace_jsonl_empty_tracer():
+    assert trace_to_jsonl(Tracer(CostLedger())) == ""
+
+
+def test_span_tree_rendering():
+    tracer = traced()
+    root = tracer.roots()[0]
+    tree = render_span_tree(root)
+    assert tree.splitlines()[0].startswith("query [lo=1 hi=2] 2.0000 ms")
+    assert "  scan 2.0000 ms (pages_scanned=7)" in tree
+
+
+def test_trace_tree_header_and_limit():
+    ledger = CostLedger()
+    tracer = Tracer(ledger)
+    for i in range(5):
+        with tracer.span(f"root{i}"):
+            pass
+    out = render_trace_tree(tracer, max_roots=2)
+    assert out.splitlines()[0] == "trace: 5 spans recorded, 5 roots buffered"
+    assert "root3" in out and "root4" in out
+    assert "root0" not in out

@@ -1,0 +1,90 @@
+"""Metrics registry: counters, gauges, histogram bucketing."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    label_key,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    counter = Counter("mmap_calls_total")
+    counter.inc(kind="fixed")
+    counter.inc(2, kind="fixed")
+    counter.inc(kind="anon")
+    assert counter.value(kind="fixed") == 3
+    assert counter.value(kind="anon") == 1
+    assert counter.value(kind="file") == 0
+
+
+def test_counter_rejects_negative_increment():
+    counter = Counter("c_total")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_add():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("partial_views")
+    gauge.set(5)
+    gauge.add(-2)
+    assert gauge.value() == 3
+
+
+def test_label_key_is_order_insensitive():
+    assert label_key({"b": 2, "a": "x"}) == label_key({"a": "x", "b": 2})
+
+
+def test_histogram_buckets_values_inclusively():
+    hist = Histogram("pages", buckets=(1.0, 4.0, 16.0))
+    for value in (0, 1, 2, 4, 5, 100):
+        hist.observe(value)
+    sample = hist.sample()
+    # (-inf,1], (1,4], (4,16], (16,+inf)
+    assert sample.bucket_counts == [2, 2, 1, 1]
+    assert sample.count == 6
+    assert sample.total == 112
+    assert hist.cumulative_counts() == [2, 4, 5, 6]
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(4.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0))
+
+
+def test_registry_get_or_create_and_type_conflict():
+    registry = MetricsRegistry()
+    first = registry.counter("queries_total")
+    assert registry.counter("queries_total") is first
+    with pytest.raises(ValueError):
+        registry.gauge("queries_total")
+    assert registry.get("queries_total") is first
+    assert registry.get("missing") is None
+
+
+def test_invalid_metric_name_rejected():
+    with pytest.raises(ValueError):
+        Counter("bad name")
+    with pytest.raises(ValueError):
+        Counter("")
+
+
+def test_snapshot_is_json_shaped():
+    registry = MetricsRegistry()
+    registry.counter("ops_total", "help text").inc(3, kind="a")
+    registry.histogram("ns", buckets=(10.0,)).observe(7)
+    snap = registry.snapshot()
+    assert snap["ops_total"]["kind"] == "counter"
+    assert snap["ops_total"]["help"] == "help text"
+    assert snap["ops_total"]["samples"] == [
+        {"labels": {"kind": "a"}, "value": 3}
+    ]
+    hist_sample = snap["ns"]["samples"][0]["value"]
+    assert hist_sample["buckets"] == {"10.0": 1, "+Inf": 0}
+    assert hist_sample["sum"] == 7
+    assert hist_sample["count"] == 1

@@ -51,6 +51,12 @@ class TestExamples:
         assert "identical rows" in out
         assert "virtual_view" in out
 
+    def test_traced_query_session(self):
+        out = run_example("traced_query_session.py")
+        assert "simulated-time decomposition" in out
+        assert "query " in out and "scan-view" in out
+        assert "queries_total 24" in out
+
     def test_checkpoint_and_replay(self):
         out = run_example("checkpoint_and_replay.py")
         assert "no cold start" in out
