@@ -35,12 +35,23 @@ PAPER_COLUMN_PAGES = 1_000_000
 DEFAULT_DIVISOR = 256
 
 
-def scale_factor() -> float:
-    """User-requested scale multiplier (``REPRO_SCALE``, default 1)."""
+def scale_factor() -> int:
+    """User-requested scale multiplier (``REPRO_SCALE``, default 1).
+
+    The single place where ``REPRO_SCALE`` is read and validated: it
+    must be a positive integer (page counts are integral, and fractional
+    multipliers would silently distort the scaled experiments).
+    """
+    raw = os.environ.get("REPRO_SCALE", "1")
     try:
-        return max(float(os.environ.get("REPRO_SCALE", "1")), 1e-3)
+        value = int(raw)
     except ValueError:
-        return 1.0
+        raise ValueError(
+            f"REPRO_SCALE must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be a positive integer, got {raw!r}")
+    return value
 
 
 def scaled_pages(paper_pages: int = PAPER_COLUMN_PAGES) -> int:

@@ -1,0 +1,271 @@
+"""Wall-clock microbenchmarks for the substrate fast paths.
+
+``python -m repro perf`` times the hot substrate operations — scans,
+view creation, maintenance batches and maps snapshot builds — once with
+the fast paths enabled and once on the per-page reference paths, and
+writes the speedups to ``BENCH_perf.json``.  Unlike every other command
+in the CLI, this one measures *wall-clock* time: the simulated costs are
+bit-identical in both modes (that is the fast-path contract, enforced by
+``tests/core/test_fastpath_parity.py``), so the only thing left to
+measure is how fast the simulator itself runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+from .. import fastpath
+from ..core.creation import create_partial_view, materialize_pages
+from ..core.maintenance import SHM_PREFIX, align_partial_views
+from ..core.routing import scan_views
+from ..core.view import VirtualView
+from ..vm.procmaps import snapshot_address_space
+from ..workloads.distributions import DEFAULT_DOMAIN, linear, uniform
+from .harness import fresh_column, make_update_batch
+
+#: Default column size: the ISSUE's "64k+ pages" wall-clock regime.
+DEFAULT_PERF_PAGES = 65_536
+
+#: Snapshots taken per timed maps-snapshot call (shows the cache effect).
+SNAPSHOTS_PER_CALL = 4
+
+
+@dataclass
+class PerfResult:
+    """One microbenchmark: best-of-N wall-clock in both modes."""
+
+    #: Benchmark name ("scan", "view_creation", ...).
+    name: str
+    #: What one unit of :attr:`throughput` means ("pages/s", ...).
+    unit: str
+    #: Work items processed per timed call (pages, batches, ...).
+    items: int
+    #: Column size in pages.
+    pages: int
+    #: Timed calls per mode (the best one counts).
+    iterations: int
+    #: Best wall-clock seconds on the reference (per-page) paths.
+    reference_s: float
+    #: Best wall-clock seconds with the fast paths enabled.
+    fast_s: float
+    #: ``reference_s / fast_s``.
+    speedup: float
+    #: Fast-path throughput, ``items / fast_s``.
+    throughput: float
+
+
+def _best_of(calls: list, iterations: int) -> float:
+    """Best (minimum) wall-clock seconds over the timed calls.
+
+    ``calls`` holds one closure per iteration so benchmarks can consume
+    per-iteration inputs (e.g. a fresh update batch per call).
+    """
+    best = float("inf")
+    for i in range(iterations):
+        fn = calls[i % len(calls)]
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _run_modes(make_calls, iterations: int) -> tuple[float, float]:
+    """Time a benchmark on the reference paths, then on the fast paths.
+
+    ``make_calls`` builds a fresh benchmark state and returns the list of
+    timed closures; it runs once per mode so the two measurements never
+    share mutable state.
+    """
+    with fastpath.reference_paths():
+        reference_s = _best_of(make_calls(), iterations)
+    with fastpath.fast_paths():
+        fast_s = _best_of(make_calls(), iterations)
+    return reference_s, fast_s
+
+
+def _result(
+    name: str,
+    unit: str,
+    items: int,
+    num_pages: int,
+    iterations: int,
+    reference_s: float,
+    fast_s: float,
+) -> PerfResult:
+    return PerfResult(
+        name=name,
+        unit=unit,
+        items=items,
+        pages=num_pages,
+        iterations=iterations,
+        reference_s=reference_s,
+        fast_s=fast_s,
+        speedup=reference_s / fast_s if fast_s > 0 else float("inf"),
+        throughput=items / fast_s if fast_s > 0 else float("inf"),
+    )
+
+
+def bench_scan(num_pages: int, iterations: int) -> PerfResult:
+    """Scan-and-filter throughput through the full view (pages/s)."""
+    lo, hi = DEFAULT_DOMAIN[0], DEFAULT_DOMAIN[1] // 2
+
+    def make_calls():
+        column = fresh_column(linear(num_pages, seed=7), name="perf_scan")
+        full = VirtualView.full_view(column)
+        return [lambda: scan_views(column, [full], lo, hi)]
+
+    reference_s, fast_s = _run_modes(make_calls, iterations)
+    return _result(
+        "scan", "pages/s", num_pages, num_pages, iterations, reference_s, fast_s
+    )
+
+
+def bench_view_creation(num_pages: int, iterations: int) -> PerfResult:
+    """Partial views created per second from an already-scanned page set.
+
+    Times the creation fast path proper — planning the runs and mapping
+    ~half the column's pages into a fresh view.  The value scan that
+    produces the page set is mode-independent and measured separately by
+    the ``scan`` benchmark, so it is excluded here.
+    """
+    lo, hi = DEFAULT_DOMAIN[0], DEFAULT_DOMAIN[1] // 2
+
+    def make_calls():
+        column = fresh_column(linear(num_pages, seed=7), name="perf_create")
+        full = VirtualView.full_view(column)
+        routed = scan_views(column, [full], lo, hi)
+
+        def call():
+            view = VirtualView(column, lo, hi)
+            materialize_pages(view, routed.qualifying_fpages)
+            view.update_range(routed.extended_lo, routed.extended_hi)
+
+        return [call]
+
+    reference_s, fast_s = _run_modes(make_calls, iterations)
+    return _result(
+        "view_creation",
+        "views/s",
+        1,
+        num_pages,
+        iterations,
+        reference_s,
+        fast_s,
+    )
+
+
+def bench_maintenance(
+    num_pages: int, iterations: int, batch_size: int = 1000
+) -> PerfResult:
+    """Update-alignment batches per second across four partial views."""
+    domain_lo, domain_hi = DEFAULT_DOMAIN
+    quarter = (domain_hi - domain_lo) // 4
+
+    def make_calls():
+        column = fresh_column(uniform(num_pages, seed=7), name="perf_maint")
+        full = VirtualView.full_view(column)
+        views = [full]
+        for i in range(4):
+            lo = domain_lo + i * quarter
+            hi = lo + quarter // 2
+            views.append(create_partial_view(column, [full], lo, hi).view)
+        batches = [
+            make_update_batch(column, batch_size, domain_lo, domain_hi, seed=i)
+            for i in range(iterations)
+        ]
+        return [
+            (lambda b=batch: align_partial_views(column, views, b))
+            for batch in batches
+        ]
+
+    reference_s, fast_s = _run_modes(make_calls, iterations)
+    return _result(
+        "maintenance_batch",
+        "batches/s",
+        1,
+        num_pages,
+        iterations,
+        reference_s,
+        fast_s,
+    )
+
+
+def bench_maps_snapshot(num_pages: int, iterations: int) -> PerfResult:
+    """Maps snapshot builds per second (render + parse + bimap build).
+
+    Each timed call takes several back-to-back snapshots of an unchanged
+    address space — exactly the maintenance pattern the generation cache
+    targets.  The reference path re-renders and re-parses every time.
+    """
+    lo, hi = DEFAULT_DOMAIN[0], DEFAULT_DOMAIN[1] // 2
+
+    def make_calls():
+        column = fresh_column(linear(num_pages, seed=7), name="perf_maps")
+        full = VirtualView.full_view(column)
+        create_partial_view(column, [full], lo, hi)
+        aspace = column.mapper.address_space
+        cost = column.mapper.cost
+        path = f"{SHM_PREFIX}{column.file.name}"
+
+        def call():
+            for _ in range(SNAPSHOTS_PER_CALL):
+                snapshot_address_space(aspace, cost=cost, file_filter=path)
+
+        return [call]
+
+    reference_s, fast_s = _run_modes(make_calls, iterations)
+    return _result(
+        "maps_snapshot",
+        "snapshots/s",
+        SNAPSHOTS_PER_CALL,
+        num_pages,
+        iterations,
+        reference_s,
+        fast_s,
+    )
+
+
+def run_perf(
+    num_pages: int = DEFAULT_PERF_PAGES, iterations: int = 3
+) -> dict:
+    """Run every microbenchmark; returns the ``BENCH_perf.json`` payload."""
+    results = [
+        bench_scan(num_pages, iterations),
+        bench_view_creation(num_pages, iterations),
+        bench_maintenance(num_pages, iterations),
+        bench_maps_snapshot(num_pages, iterations),
+    ]
+    return {
+        "benchmark": "substrate fast paths (wall-clock)",
+        "pages": num_pages,
+        "iterations": iterations,
+        "results": [asdict(r) for r in results],
+    }
+
+
+def render_perf(payload: dict) -> str:
+    """Human-readable table for one ``run_perf`` payload."""
+    lines = [
+        f"Substrate fast-path microbenchmarks — {payload['pages']} pages, "
+        f"best of {payload['iterations']}",
+        "",
+        f"{'benchmark':<18} {'reference':>12} {'fast':>12} "
+        f"{'speedup':>8}  throughput",
+        "-" * 68,
+    ]
+    for r in payload["results"]:
+        lines.append(
+            f"{r['name']:<18} {r['reference_s'] * 1e3:>10.1f}ms "
+            f"{r['fast_s'] * 1e3:>10.1f}ms {r['speedup']:>7.1f}x  "
+            f"{r['throughput']:,.0f} {r['unit']}"
+        )
+    return "\n".join(lines)
+
+
+def write_perf_json(payload: dict, path: str) -> None:
+    """Write the payload as pretty-printed JSON."""
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")

@@ -192,6 +192,31 @@ def build_parser() -> argparse.ArgumentParser:
                 help="emit JSON instead of the Prometheus text format",
             )
 
+    from .bench.perf import DEFAULT_PERF_PAGES
+
+    perf = subparsers.add_parser(
+        "perf",
+        help="wall-clock fast-path microbenchmarks (writes BENCH_perf.json)",
+    )
+    perf.add_argument(
+        "--pages",
+        type=int,
+        default=DEFAULT_PERF_PAGES,
+        help=f"column size in pages (default: {DEFAULT_PERF_PAGES})",
+    )
+    perf.add_argument(
+        "--iterations",
+        type=int,
+        default=3,
+        help="timed calls per benchmark and mode; the best counts (default: 3)",
+    )
+    perf.add_argument(
+        "--json",
+        type=str,
+        default="BENCH_perf.json",
+        help="output JSON path (default: BENCH_perf.json)",
+    )
+
     regress = subparsers.add_parser(
         "regress", help="compare two exported result directories"
     )
@@ -249,6 +274,16 @@ def _run_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    from .bench.perf import render_perf, run_perf, write_perf_json
+
+    payload = run_perf(num_pages=args.pages, iterations=args.iterations)
+    print(render_perf(payload))
+    write_perf_json(payload, args.json)
+    print(f"\n[results written to {args.json}]")
+    return 0
+
+
 def _run_regress(args: argparse.Namespace) -> int:
     from .bench.regress import compare_suites
 
@@ -264,6 +299,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_export(args)
     if args.command == "regress":
         return _run_regress(args)
+    if args.command == "perf":
+        return _run_perf(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "metrics":

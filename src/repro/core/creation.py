@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import fastpath
 from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..vm.cost import MAIN_LANE, MAPPER_LANE, CostModel
@@ -122,20 +123,26 @@ def materialize_pages(
         coalesce=coalesce,
         background=background is not None,
     ) as mspan:
-        if coalesce:
-            runs = consecutive_runs(fpages)
+        if fastpath.enabled():
+            # Run-length batching: one vectorized planning pass hands
+            # out every run's request; each coalesced run still issues
+            # exactly one (bulk) page-table operation.
+            requests = view.plan_runs(fpages, coalesce=coalesce)
+        elif coalesce:
+            requests = [view.plan_run(run) for run in consecutive_runs(fpages)]
         else:
-            runs = [fpages[i : i + 1] for i in range(fpages.size)]
-        for run in runs:
-            request = view.plan_run(run)
+            requests = [
+                view.plan_run(fpages[i : i + 1]) for i in range(fpages.size)
+            ]
+        for request in requests:
             if background is not None:
                 background.submit(view, request)
             else:
                 view.execute_request(request, lane=lane)
         if background is not None:
             background.flush()
-        mspan.set(runs=len(runs))
-    return len(runs)
+        mspan.set(runs=len(requests))
+    return len(requests)
 
 
 @dataclass

@@ -24,6 +24,8 @@ and discarded after the batch.
 
 from __future__ import annotations
 
+import bisect
+
 from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..storage.updates import UpdateBatch
@@ -38,6 +40,12 @@ from .view import VirtualView
 SHM_PREFIX = "/dev/shm/"
 
 
+def _any_in_range(sorted_values: list[int], lo: int, hi: int) -> bool:
+    """Whether any of the (sorted) values lies inside ``[lo, hi]``."""
+    idx = bisect.bisect_left(sorted_values, lo)
+    return idx < len(sorted_values) and sorted_values[idx] <= hi
+
+
 def _is_indexed(
     snapshot: MappingSnapshot, view: VirtualView, path: str, fpage: int
 ) -> bool:
@@ -45,13 +53,12 @@ def _is_indexed(
 
     Answered from the user-space bimap snapshot, as the paper does — the
     view's virtual area is known, so the question reduces to "does any
-    virtual page of this area map the physical page?".
+    virtual page of this area map the physical page?" (one bimap
+    lookup, like the ``virtuals_of`` round trip it replaces).
     """
     lo_vpn = view.base_vpn
     hi_vpn = view.base_vpn + view.capacity
-    return any(
-        lo_vpn <= vpn < hi_vpn for vpn in snapshot.virtuals_of((path, fpage))
-    )
+    return snapshot.any_virtual_in_range((path, fpage), lo_vpn, hi_vpn)
 
 
 def align_partial_views(
@@ -90,19 +97,34 @@ def align_partial_views(
         stats.maps_lines = parse_region.counter_deltas.get("maps_lines_parsed", 0)
         obs.on_maps_parse(stats.maps_lines)
 
+        # Per-group value extremes are view-independent: sort each
+        # group's old/new values once, then every view answers "any
+        # value inside my range?" with a binary search instead of a
+        # linear pass (the simulated per-record inspection cost is
+        # still charged per view, as before).
+        page_groups = [
+            (
+                fpage,
+                updates,
+                sorted(u.new for u in updates),
+                sorted(u.old for u in updates),
+            )
+            for fpage, updates in groups.items()
+        ]
+
         with cost.region() as update_region, obs.span("align-views"):
             for view in views:
                 if view.is_full_view:
                     continue
                 a, b = view.lo, view.hi
-                for fpage, updates in groups.items():
+                for fpage, updates, sorted_news, sorted_olds in page_groups:
                     # Inspecting the update group: one pass over its records
                     # plus the bimap round trip answering "is this physical
                     # page indexed by this view?".
                     cost.update_check(len(updates), lane)
                     indexed = _is_indexed(snapshot, view, path, fpage)
                     cost.bimap_op(2, lane)
-                    any_new_in = any(a <= u.new <= b for u in updates)
+                    any_new_in = _any_in_range(sorted_news, a, b)
 
                     if not indexed:
                         if any_new_in:
@@ -113,7 +135,7 @@ def align_partial_views(
 
                     if any_new_in:
                         continue  # still holds an in-range value, stays indexed
-                    any_old_in = any(a <= u.old <= b for u in updates)
+                    any_old_in = _any_in_range(sorted_olds, a, b)
                     if not any_old_in:
                         continue  # updates never touched this view's range
                     # An in-range value may have been overwritten: only a full

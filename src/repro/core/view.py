@@ -197,6 +197,65 @@ class VirtualView:
             npages=n,
         )
 
+    def plan_runs(
+        self, fpages: np.ndarray | list[int], coalesce: bool = True
+    ) -> list[MapRequest]:
+        """Plan mapping an ordered page set into fresh slots, in bulk.
+
+        The vectorized counterpart of splitting ``fpages`` into maximal
+        consecutive runs and calling :meth:`plan_run` once per run: one
+        pass validates the whole set, reserves all slots, and records
+        the bookkeeping with whole-array operations; the returned
+        requests are identical (one per run with ``coalesce``, one per
+        page without).
+        """
+        if self.is_full_view:
+            raise RuntimeError("cannot map pages into the full view")
+        fpages = np.asarray(fpages, dtype=np.int64)
+        n = int(fpages.size)
+        if n == 0:
+            return []
+        if self._next_fresh + n > self.capacity:
+            raise RuntimeError("view over-allocation exhausted")
+        diffs = np.diff(fpages)
+        if diffs.size and not np.all(diffs >= 1):
+            # Strictly increasing input (the scan output) is duplicate
+            # free; anything else needs the full uniqueness check.
+            if np.any(diffs < 0):
+                has_duplicates = np.unique(fpages).size != n
+            else:
+                has_duplicates = True
+            if has_duplicates:
+                raise ValueError(
+                    "run contains pages already indexed by this view"
+                )
+        if np.any(self._slot_by_fpage[fpages] >= 0):
+            raise ValueError("run contains pages already indexed by this view")
+        slot_start = self._next_fresh
+        self._next_fresh += n
+        slots = np.arange(slot_start, slot_start + n, dtype=np.int64)
+        self._fpage_at[slots] = fpages
+        self._slot_by_fpage[fpages] = slots
+        self._touched[slot_start : slot_start + n] = False
+        self._num_mapped += n
+        self._mapped_cache = None
+
+        if coalesce:
+            breaks = np.nonzero(diffs != 1)[0] + 1
+            starts = np.concatenate(([0], breaks))
+            ends = np.concatenate((breaks, [n]))
+        else:
+            starts = np.arange(n)
+            ends = starts + 1
+        return [
+            MapRequest(
+                vpn_start=self.base_vpn + slot_start + int(start),
+                fpage_start=int(fpages[start]),
+                npages=int(end - start),
+            )
+            for start, end in zip(starts, ends)
+        ]
+
     def execute_request(self, request: MapRequest, lane: str = MAIN_LANE) -> None:
         """Issue the mmap(MAP_FIXED) call for a planned run.
 

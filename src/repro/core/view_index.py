@@ -9,6 +9,10 @@ once the limit is reached).
 
 from __future__ import annotations
 
+import bisect
+
+import numpy as np
+
 from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..vm.cost import MAIN_LANE
@@ -39,6 +43,15 @@ class ViewIndex:
         #: Logical clock for LRU bookkeeping.
         self._use_clock = 0
         self._last_used: dict[int, int] = {}
+        #: Interval index over the partial views: views sorted by
+        #: ``(lo, -hi, insertion position)``, with a parallel ``lo``
+        #: array for bisect.  Rebuilt lazily after inserts/replaces/
+        #: drops (view ranges are immutable once a view is indexed), so
+        #: routing binary-searches instead of scanning the full list.
+        self._sorted_views: list[VirtualView] = []
+        self._sorted_pos: list[int] = []
+        self._sorted_los: list[int] = []
+        self._sorted_dirty = True
 
     @property
     def partial_views(self) -> list[VirtualView]:
@@ -79,12 +92,39 @@ class ViewIndex:
             if not view.is_full_view:
                 self._last_used[id(view)] = self._use_clock
 
+    def _ensure_sorted(self) -> None:
+        """Rebuild the interval index if views were added/removed."""
+        if not self._sorted_dirty:
+            return
+        order = sorted(
+            range(len(self._partials)),
+            key=lambda i: (self._partials[i].lo, -self._partials[i].hi, i),
+        )
+        self._sorted_views = [self._partials[i] for i in order]
+        self._sorted_pos = order
+        self._sorted_los = [v.lo for v in self._sorted_views]
+        self._sorted_dirty = False
+
     def _select_single(self, lo: int, hi: int) -> VirtualView:
-        """Single-view mode: the smallest view fully covering the range."""
+        """Single-view mode: the smallest view fully covering the range.
+
+        Only views with ``view.lo <= lo`` can cover the range, so the
+        bisect over the sorted ``lo`` array bounds the scan.  Ties on
+        page count resolve to the earliest-inserted view (the first
+        strict improvement wins in a linear scan), and a partial view
+        must beat the full view *strictly* to be chosen.
+        """
+        self._ensure_sorted()
+        end = bisect.bisect_right(self._sorted_los, lo)
         best = self.full_view
-        for view in self._partials:
-            if view.covers(lo, hi) and view.num_pages < best.num_pages:
-                best = view
+        best_key = (self.full_view.num_pages, -1)
+        for i in range(end):
+            view = self._sorted_views[i]
+            if view.hi >= hi:
+                key = (view.num_pages, self._sorted_pos[i])
+                if key < best_key:
+                    best = view
+                    best_key = key
         return best
 
     def _select_multi(self, lo: int, hi: int) -> list[VirtualView] | None:
@@ -99,12 +139,15 @@ class ViewIndex:
         None when the partials cannot cover the range (the caller falls
         back to single-view mode).
         """
+        self._ensure_sorted()
+        end = bisect.bisect_right(self._sorted_los, hi)
+        # The index is already sorted by (lo, -hi, insertion order) —
+        # exactly the stable order the cover walk below expects.
         overlapping = [
-            v for v in self._partials if v.lo <= hi and v.hi >= lo
+            v for v in self._sorted_views[:end] if v.hi >= lo
         ]
         if not overlapping:
             return None
-        overlapping.sort(key=lambda v: (v.lo, -v.hi))
         point = lo
         for view in overlapping:
             if view.lo > point:
@@ -124,7 +167,17 @@ class ViewIndex:
         pages wins.  Returns None when the partials cannot cover the
         range at all.
         """
-        candidates = [v for v in self._partials if v.lo <= hi and v.hi >= lo]
+        self._ensure_sorted()
+        end = bisect.bisect_right(self._sorted_los, hi)
+        # Greedy min() ties resolve to the earliest-inserted candidate,
+        # so restore insertion order after the bisect-bounded overlap cut.
+        indexed = [
+            (self._sorted_pos[i], self._sorted_views[i])
+            for i in range(end)
+            if self._sorted_views[i].hi >= lo
+        ]
+        indexed.sort()
+        candidates = [v for _, v in indexed]
         if not candidates:
             return None
 
@@ -146,8 +199,10 @@ class ViewIndex:
                 break
             point = best.hi + 1
 
-        cover_pages = len(
-            {page for view in chosen for page in view.mapped_fpages().tolist()}
+        cover_pages = int(
+            np.unique(
+                np.concatenate([view.mapped_fpages() for view in chosen])
+            ).size
         )
         single = self._select_single(lo, hi)
         if single.num_pages <= cover_pages:
@@ -250,6 +305,7 @@ class ViewIndex:
         if view.is_full_view:
             raise ValueError("the full view is implicit, do not insert it")
         self._partials.append(view)
+        self._sorted_dirty = True
 
     def replace(
         self, old: VirtualView, new: VirtualView, lane: str = MAIN_LANE
@@ -257,10 +313,12 @@ class ViewIndex:
         """Replace partial view ``old`` by ``new``, destroying ``old``."""
         idx = self._partials.index(old)
         self._partials[idx] = new
+        self._sorted_dirty = True
         old.destroy(lane)
 
     def drop(self, view: VirtualView, lane: str = MAIN_LANE) -> None:
         """Remove and destroy a partial view."""
         self._partials.remove(view)
         self._last_used.pop(id(view), None)
+        self._sorted_dirty = True
         view.destroy(lane)

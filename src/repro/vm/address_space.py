@@ -12,6 +12,7 @@ import bisect
 import threading
 from typing import Iterator
 
+from .. import fastpath
 from .errors import BadAddressError, MapError
 from .physical import MemoryFile
 from .vma import Vma
@@ -30,6 +31,12 @@ class AddressSpace:
         self._starts: list[int] = []  # parallel list for bisect
         self._next_vpn = _MMAP_BASE_VPN
         self._faulted: set[int] = set()
+        #: Monotonic mapping-change counter.  Bumped by every mutation
+        #: that can change the rendered maps file (map/unmap/protect);
+        #: consumers (the maps render/parse cache in
+        #: :mod:`repro.vm.procmaps`) compare generations instead of
+        #: re-rendering to detect "nothing changed".
+        self.generation = 0
         #: Serializes mutations; the background mapping thread
         #: (Section 2.3, optimization 2) maps pages concurrently with the
         #: scanning thread, just as the kernel serializes mmap internally.
@@ -84,13 +91,69 @@ class AddressSpace:
             self._faulted.add(vpn)
             return True
 
+    def fault_in_range(self, start: int, npages: int) -> int:
+        """Record accesses to ``[start, start + npages)`` in one step.
+
+        The bulk counterpart of :meth:`fault_in` — used when a mapping
+        is populated eagerly (``MAP_POPULATE``).  The whole range must be
+        mapped.  Returns the number of first touches.
+        """
+        if npages <= 0:
+            raise MapError("cannot fault in an empty range")
+        with self.lock:
+            if not fastpath.enabled():
+                return sum(
+                    self.fault_in(vpn) for vpn in range(start, start + npages)
+                )
+            self._check_range_mapped(start, npages)
+            before = len(self._faulted)
+            self._faulted.update(range(start, start + npages))
+            return len(self._faulted) - before
+
+    def _check_range_mapped(self, start: int, npages: int) -> None:
+        """Raise :class:`BadAddressError` unless the range is fully mapped.
+
+        Walks the (sorted) VMA list instead of testing page by page, so
+        the check is O(VMAs in range), not O(pages).
+        """
+        end = start + npages
+        point = start
+        idx = max(bisect.bisect_right(self._starts, start) - 1, 0)
+        while point < end:
+            if idx >= len(self._vmas):
+                raise BadAddressError(f"fault on unmapped page {point:#x}")
+            vma = self._vmas[idx]
+            if not vma.contains(point):
+                raise BadAddressError(f"fault on unmapped page {point:#x}")
+            point = vma.end
+            idx += 1
+
     def _invalidate_faults(self, start: int, npages: int) -> None:
-        """Forget fault state for a remapped/unmapped range."""
-        if npages < 64:
+        """Forget fault state for a remapped/unmapped range.
+
+        Iterates the smaller of the remapped range and the resident
+        fault set: unmapping a huge, barely-touched area must not pay
+        for every page of the range.
+        """
+        if len(self._faulted) < npages:
+            end = start + npages
+            overlap = [vpn for vpn in self._faulted if start <= vpn < end]
+            self._faulted.difference_update(overlap)
+        elif npages < 64:
             for vpn in range(start, start + npages):
                 self._faulted.discard(vpn)
         else:
             self._faulted -= set(range(start, start + npages))
+
+    def _resident_in_range(self, start: int, npages: int) -> set[int]:
+        """Resident (faulted-in) pages inside ``[start, start + npages)``.
+
+        Like :meth:`_invalidate_faults`, iterates the smaller side.
+        """
+        end = start + npages
+        if len(self._faulted) < npages:
+            return {vpn for vpn in self._faulted if start <= vpn < end}
+        return set(range(start, end)) & self._faulted
 
     # -- region allocation ---------------------------------------------------
 
@@ -112,6 +175,7 @@ class AddressSpace:
         """
         with self.lock:
             self._add_mapping_locked(vma)
+            self.generation += 1
 
     def _add_mapping_locked(self, vma: Vma) -> None:
         idx = bisect.bisect_left(self._starts, vma.start)
@@ -144,7 +208,9 @@ class AddressSpace:
         affected VMAs are split as needed.
         """
         with self.lock:
-            return self._remove_mapping_locked(start, npages)
+            removed = self._remove_mapping_locked(start, npages)
+            self.generation += 1
+            return removed
 
     def _remove_mapping_locked(self, start: int, npages: int) -> int:
         if npages <= 0:
@@ -180,6 +246,7 @@ class AddressSpace:
             self._remove_mapping_locked(vma.start, vma.npages)
             self._add_mapping_locked(vma)
             self._invalidate_faults(vma.start, vma.npages)
+            self.generation += 1
 
     def protect_mapping(self, start: int, npages: int, perms: str) -> None:
         """mprotect semantics: change permissions of a mapped range.
@@ -227,8 +294,9 @@ class AddressSpace:
                 )
             # mprotect must not invalidate resident pages: preserve the
             # fault state across the remove/re-add below.
-            resident = set(range(start, start + npages)) & self._faulted
+            resident = self._resident_in_range(start, npages)
             self._remove_mapping_locked(start, npages)
             for piece in pieces:
                 self._add_mapping_locked(piece)
             self._faulted |= resident
+            self.generation += 1

@@ -102,8 +102,10 @@ class MemoryMapper:
         else:
             self.cost.mmap_call(npages, lane)
         if populate:
-            for vpn in range(addr, addr + npages):
-                self.address_space.fault_in(vpn)
+            # Bulk page-table install: one call records all first
+            # touches; the eager soft faults are charged in one ledger
+            # call either way.
+            self.address_space.fault_in_range(addr, npages)
             self.cost.soft_fault(npages, lane)
         if self.observer is not None:
             kind = "anon" if file is None else ("fixed" if fixed else "file")

@@ -23,8 +23,13 @@ VMAs, and the maps file shrinks.
 from __future__ import annotations
 
 import re
+import threading
+import weakref
 from dataclasses import dataclass
 
+import numpy as np
+
+from .. import fastpath
 from .address_space import AddressSpace
 from .constants import PAGE_SIZE
 from .cost import MAIN_LANE, CostModel
@@ -69,8 +74,78 @@ class MapsEntry:
         return self.start_vpn + self.npages
 
 
+@dataclass
+class _MapsCacheEntry:
+    """Render/parse results of one address-space generation.
+
+    ``entries`` is filled lazily by :func:`snapshot_address_space`; a
+    plain :func:`render_maps` call caches only the text.
+    """
+
+    generation: int
+    shm_prefix: str
+    text: str
+    entries: tuple[MapsEntry, ...] | None = None
+
+
+#: Generation-keyed render/parse cache, one slot per address space.
+#: Invalidation rule: any map/unmap/protect bumps
+#: :attr:`AddressSpace.generation`, which makes the slot stale; a stale
+#: or missing slot re-renders (and re-parses) from scratch.  The cache
+#: only skips *wall-clock* work — the simulated open/parse cost is
+#: charged on every snapshot, hit or miss.
+_MAPS_CACHE: "weakref.WeakKeyDictionary[AddressSpace, _MapsCacheEntry]" = (
+    weakref.WeakKeyDictionary()
+)
+_MAPS_CACHE_LOCK = threading.Lock()
+
+
+def _cache_lookup(
+    address_space: AddressSpace, shm_prefix: str
+) -> _MapsCacheEntry | None:
+    """The cache slot for this address space, if still fresh."""
+    with _MAPS_CACHE_LOCK:
+        cached = _MAPS_CACHE.get(address_space)
+    if (
+        cached is not None
+        and cached.generation == address_space.generation
+        and cached.shm_prefix == shm_prefix
+    ):
+        return cached
+    return None
+
+
+def _cache_store(address_space: AddressSpace, entry: _MapsCacheEntry) -> None:
+    with _MAPS_CACHE_LOCK:
+        _MAPS_CACHE[address_space] = entry
+
+
 def render_maps(address_space: AddressSpace, shm_prefix: str = "/dev/shm/") -> str:
-    """Render the address space in ``/proc/PID/maps`` text format."""
+    """Render the address space in ``/proc/PID/maps`` text format.
+
+    The rendered text is cached per address-space generation: as long as
+    no mapping changes, repeated renders return the same string without
+    re-walking the VMA list.
+    """
+    if fastpath.enabled():
+        generation = address_space.generation
+        cached = _cache_lookup(address_space, shm_prefix)
+        if cached is not None:
+            return cached.text
+        text = _render_maps_uncached(address_space, shm_prefix)
+        _cache_store(
+            address_space,
+            _MapsCacheEntry(
+                generation=generation, shm_prefix=shm_prefix, text=text
+            ),
+        )
+        return text
+    return _render_maps_uncached(address_space, shm_prefix)
+
+
+def _render_maps_uncached(
+    address_space: AddressSpace, shm_prefix: str = "/dev/shm/"
+) -> str:
     lines = []
     for vma in address_space.vmas():
         start = vma.start * PAGE_SIZE
@@ -163,24 +238,34 @@ class MappingSnapshot:
         self._forward: dict[int, PhysPage] = {}
         self._reverse: dict[PhysPage, set[int]] = {}
         self._cost = cost
+        total = 0
         for entry in entries or []:
             if entry.anonymous:
                 continue
             if file_filter is not None and entry.pathname != file_filter:
                 continue
+            path = entry.pathname
             for i in range(entry.npages):
-                self.map(entry.start_vpn + i, (entry.pathname, entry.file_page + i), lane)
+                self._map_uncharged(entry.start_vpn + i, (path, entry.file_page + i))
+            total += entry.npages
+        # All construction-time inserts are charged with one ledger call
+        # (same total as charging page by page).
+        if cost is not None and total:
+            cost.bimap_op(total, lane)
 
     def __len__(self) -> int:
         return len(self._forward)
 
     def map(self, vpn: int, phys: PhysPage, lane: str = MAIN_LANE) -> None:
         """Record that virtual page ``vpn`` now maps ``phys``."""
-        self.unmap(vpn, lane=lane, charge=False)
-        self._forward[vpn] = phys
-        self._reverse.setdefault(phys, set()).add(vpn)
+        self._map_uncharged(vpn, phys)
         if self._cost is not None:
             self._cost.bimap_op(1, lane)
+
+    def _map_uncharged(self, vpn: int, phys: PhysPage) -> None:
+        self.unmap(vpn, charge=False)
+        self._forward[vpn] = phys
+        self._reverse.setdefault(phys, set()).add(vpn)
 
     def unmap(self, vpn: int, lane: str = MAIN_LANE, charge: bool = True) -> None:
         """Forget the mapping of virtual page ``vpn`` (no-op if absent)."""
@@ -206,6 +291,202 @@ class MappingSnapshot:
             self._cost.bimap_op(1)
         return frozenset(self._reverse.get(phys, ()))
 
+    def any_virtual_in_range(
+        self, phys: PhysPage, lo_vpn: int, hi_vpn: int
+    ) -> bool:
+        """Whether any virtual page in ``[lo_vpn, hi_vpn)`` maps ``phys``.
+
+        One bimap lookup, like :meth:`virtuals_of` — this is the "is this
+        physical page indexed by this view?" question of Section 2.5.
+        """
+        if self._cost is not None:
+            self._cost.bimap_op(1)
+        return any(lo_vpn <= vpn < hi_vpn for vpn in self._reverse.get(phys, ()))
+
+
+class _ArrayMappingSnapshot(MappingSnapshot):
+    """Array-backed snapshot: numpy-built, binary-search lookups.
+
+    The bulk of a snapshot's life is construction — one entry per mapped
+    page — so this backend materializes each maps *entry* as an
+    ``arange`` instead of looping page by page, and answers lookups by
+    binary search over the (virtually sorted) page arrays.  The handful
+    of mutations a maintenance batch performs live in a small overlay
+    dict on top of the immutable base arrays.
+
+    Simulated costs are charged exactly as the dict-backed reference:
+    one bimap op per constructed page (in a single ledger call), one per
+    map/unmap/lookup.
+    """
+
+    def __init__(
+        self,
+        entries: list[MapsEntry] | None = None,
+        cost: CostModel | None = None,
+        lane: str = MAIN_LANE,
+        file_filter: str | None = None,
+    ) -> None:
+        self._cost = cost
+        self._paths: list[str] = []
+        self._path_ids: dict[str, int] = {}
+        vpn_parts: list[np.ndarray] = []
+        fp_parts: list[np.ndarray] = []
+        pid_parts: list[np.ndarray] = []
+        total = 0
+        for entry in entries or []:
+            if entry.anonymous:
+                continue
+            if file_filter is not None and entry.pathname != file_filter:
+                continue
+            pid = self._path_ids.setdefault(entry.pathname, len(self._path_ids))
+            if pid == len(self._paths):
+                self._paths.append(entry.pathname)
+            vpn_parts.append(
+                np.arange(entry.start_vpn, entry.end_vpn, dtype=np.int64)
+            )
+            fp_parts.append(
+                np.arange(
+                    entry.file_page, entry.file_page + entry.npages, dtype=np.int64
+                )
+            )
+            pid_parts.append(np.full(entry.npages, pid, dtype=np.int64))
+            total += entry.npages
+        if total:
+            self._vpns = np.concatenate(vpn_parts)
+            self._fpages = np.concatenate(fp_parts)
+            self._pids = np.concatenate(pid_parts)
+        else:
+            self._vpns = np.empty(0, dtype=np.int64)
+            self._fpages = np.empty(0, dtype=np.int64)
+            self._pids = np.empty(0, dtype=np.int64)
+        if self._vpns.size > 1 and not np.all(np.diff(self._vpns) > 0):
+            # Hand-built entry lists may overlap virtually; keep the
+            # last occurrence per vpn, as the dict reference does.
+            order = np.argsort(self._vpns, kind="stable")
+            sorted_vpns = self._vpns[order]
+            keep = np.ones(sorted_vpns.size, dtype=bool)
+            keep[:-1] = sorted_vpns[1:] != sorted_vpns[:-1]
+            selected = order[keep]
+            self._vpns = sorted_vpns[keep]
+            self._fpages = self._fpages[selected]
+            self._pids = self._pids[selected]
+        self._len = int(self._vpns.size)
+        #: Mutation overlay: vpn -> phys (remapped) or None (unmapped).
+        self._overlay: dict[int, PhysPage | None] = {}
+        # Lazy reverse index (composite sort by (path id, file page)).
+        self._rev_order: np.ndarray | None = None
+        self._rev_sorted: np.ndarray | None = None
+        self._rev_base: int = 1
+        if cost is not None and total:
+            cost.bimap_op(total, lane)
+
+    # -- internal lookups (uncharged) -----------------------------------
+
+    def _base_phys(self, vpn: int) -> PhysPage | None:
+        idx = int(np.searchsorted(self._vpns, vpn))
+        if idx < self._vpns.size and int(self._vpns[idx]) == vpn:
+            return (
+                self._paths[int(self._pids[idx])],
+                int(self._fpages[idx]),
+            )
+        return None
+
+    def _current_phys(self, vpn: int) -> PhysPage | None:
+        if vpn in self._overlay:
+            return self._overlay[vpn]
+        return self._base_phys(vpn)
+
+    def _ensure_reverse(self) -> None:
+        if self._rev_sorted is not None:
+            return
+        self._rev_base = int(self._fpages.max()) + 1 if self._fpages.size else 1
+        keys = self._pids * self._rev_base + self._fpages
+        self._rev_order = np.argsort(keys, kind="stable")
+        self._rev_sorted = keys[self._rev_order]
+
+    def _base_virtuals(self, phys: PhysPage) -> np.ndarray:
+        path, fpage = phys
+        pid = self._path_ids.get(path)
+        if pid is None or fpage < 0:
+            return np.empty(0, dtype=np.int64)
+        self._ensure_reverse()
+        if fpage >= self._rev_base:
+            return np.empty(0, dtype=np.int64)
+        key = pid * self._rev_base + fpage
+        lo = int(np.searchsorted(self._rev_sorted, key, side="left"))
+        hi = int(np.searchsorted(self._rev_sorted, key, side="right"))
+        return self._vpns[self._rev_order[lo:hi]]
+
+    # -- public interface -----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def map(self, vpn: int, phys: PhysPage, lane: str = MAIN_LANE) -> None:
+        if self._current_phys(vpn) is None:
+            self._len += 1
+        self._overlay[vpn] = phys
+        if self._cost is not None:
+            self._cost.bimap_op(1, lane)
+
+    def unmap(self, vpn: int, lane: str = MAIN_LANE, charge: bool = True) -> None:
+        if self._current_phys(vpn) is not None:
+            self._len -= 1
+            if self._base_phys(vpn) is not None:
+                self._overlay[vpn] = None  # tombstone over the base layer
+            else:
+                self._overlay.pop(vpn, None)
+        if charge and self._cost is not None:
+            self._cost.bimap_op(1, lane)
+
+    def physical_of(self, vpn: int) -> PhysPage | None:
+        if self._cost is not None:
+            self._cost.bimap_op(1)
+        return self._current_phys(vpn)
+
+    def virtuals_of(self, phys: PhysPage) -> frozenset[int]:
+        if self._cost is not None:
+            self._cost.bimap_op(1)
+        overlay = self._overlay
+        base = self._base_virtuals(phys)
+        if not overlay:
+            return frozenset(map(int, base))
+        virtuals = {int(vpn) for vpn in base if int(vpn) not in overlay}
+        for vpn, current in overlay.items():
+            if current == phys:
+                virtuals.add(vpn)
+        return frozenset(virtuals)
+
+    def any_virtual_in_range(
+        self, phys: PhysPage, lo_vpn: int, hi_vpn: int
+    ) -> bool:
+        if self._cost is not None:
+            self._cost.bimap_op(1)
+        overlay = self._overlay
+        for vpn, current in overlay.items():
+            if current == phys and lo_vpn <= vpn < hi_vpn:
+                return True
+        for vpn in self._base_virtuals(phys):
+            v = int(vpn)
+            if lo_vpn <= v < hi_vpn and v not in overlay:
+                return True
+        return False
+
+
+def make_snapshot(
+    entries: list[MapsEntry] | tuple[MapsEntry, ...] | None,
+    cost: CostModel | None = None,
+    lane: str = MAIN_LANE,
+    file_filter: str | None = None,
+) -> MappingSnapshot:
+    """Build a snapshot on the active backend (array fast / dict reference)."""
+    entry_list = list(entries or [])
+    if fastpath.enabled():
+        return _ArrayMappingSnapshot(
+            entry_list, cost=cost, lane=lane, file_filter=file_filter
+        )
+    return MappingSnapshot(entry_list, cost=cost, lane=lane, file_filter=file_filter)
+
 
 def snapshot_address_space(
     address_space: AddressSpace,
@@ -217,8 +498,36 @@ def snapshot_address_space(
     """Render, parse and materialize one address space in one step.
 
     This is the "parse the file only once before applying a batch of
-    updates" operation from Section 2.5.
+    updates" operation from Section 2.5.  Back-to-back snapshots of an
+    unchanged address space (same :attr:`AddressSpace.generation`) skip
+    the wall-clock re-render and re-parse but still charge the paper's
+    simulated open + per-line parse cost — the simulated process *does*
+    re-read ``/proc/PID/maps`` every time.
     """
+    if fastpath.enabled():
+        cached = _cache_lookup(address_space, shm_prefix)
+        if cached is not None and cached.entries is not None:
+            if cost is not None:
+                cost.maps_parse(len(cached.entries), lane)
+            return make_snapshot(
+                cached.entries, cost=cost, lane=lane, file_filter=file_filter
+            )
+        generation = address_space.generation
+        if cached is not None:  # fresh text, not yet parsed
+            text = cached.text
+        else:
+            text = _render_maps_uncached(address_space, shm_prefix)
+        entries = parse_maps(text, cost=cost, lane=lane)
+        _cache_store(
+            address_space,
+            _MapsCacheEntry(
+                generation=generation,
+                shm_prefix=shm_prefix,
+                text=text,
+                entries=tuple(entries),
+            ),
+        )
+        return make_snapshot(entries, cost=cost, lane=lane, file_filter=file_filter)
     text = render_maps(address_space, shm_prefix=shm_prefix)
     entries = parse_maps(text, cost=cost, lane=lane)
     return MappingSnapshot(entries, cost=cost, lane=lane, file_filter=file_filter)

@@ -33,9 +33,21 @@ class TestScaling:
         monkeypatch.setenv("REPRO_SCALE", "2")
         assert scaled_pages() == 2 * (PAPER_COLUMN_PAGES // DEFAULT_DIVISOR)
 
-    def test_bad_env_ignored(self, monkeypatch):
+    def test_non_integer_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "banana")
-        assert scaled_pages() == PAPER_COLUMN_PAGES // DEFAULT_DIVISOR
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            scaled_pages()
+
+    def test_fractional_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1.5")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            scaled_pages()
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        for bad in ("0", "-4"):
+            monkeypatch.setenv("REPRO_SCALE", bad)
+            with pytest.raises(ValueError, match="REPRO_SCALE"):
+                scaled_pages()
 
     def test_floor(self, monkeypatch):
         monkeypatch.delenv("REPRO_SCALE", raising=False)

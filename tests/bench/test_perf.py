@@ -1,0 +1,40 @@
+"""Smoke tests for the wall-clock perf microbenchmarks."""
+
+import json
+
+from repro.bench.perf import render_perf, run_perf, write_perf_json
+
+REQUIRED_BENCHES = {"scan", "view_creation", "maintenance_batch", "maps_snapshot"}
+
+
+def test_run_perf_small_scale(tmp_path):
+    payload = run_perf(num_pages=64, iterations=1)
+    assert payload["pages"] == 64
+    names = {r["name"] for r in payload["results"]}
+    assert names == REQUIRED_BENCHES
+    for result in payload["results"]:
+        assert result["reference_s"] > 0
+        assert result["fast_s"] > 0
+        assert result["speedup"] > 0
+        assert result["throughput"] > 0
+
+    path = tmp_path / "BENCH_perf.json"
+    write_perf_json(payload, str(path))
+    assert json.loads(path.read_text()) == payload
+
+    report = render_perf(payload)
+    for name in REQUIRED_BENCHES:
+        assert name in report
+
+
+def test_perf_cli_writes_json(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "perf.json"
+    assert (
+        main(["perf", "--pages", "64", "--iterations", "1", "--json", str(out)])
+        == 0
+    )
+    payload = json.loads(out.read_text())
+    assert {r["name"] for r in payload["results"]} == REQUIRED_BENCHES
+    assert "speedup" in capsys.readouterr().out

@@ -200,3 +200,60 @@ class TestDestroy:
         before = column.mapper.cost.ledger.counter("pages_unmapped")
         view.destroy()
         assert column.mapper.cost.ledger.counter("pages_unmapped") == before + 4
+
+
+class TestPlanRuns:
+    def test_matches_per_run_planning(self, column):
+        fpages = np.array([0, 1, 2, 5, 6, 9], dtype=np.int64)
+        a = VirtualView(column, 0, 100)
+        from repro.core.creation import consecutive_runs
+
+        expected = [a.plan_run(run) for run in consecutive_runs(fpages)]
+        b = VirtualView(column, 0, 100)
+        got = b.plan_runs(fpages)
+        assert [(r.fpage_start, r.npages) for r in got] == [
+            (r.fpage_start, r.npages) for r in expected
+        ]
+        assert [r.vpn_start - b.base_vpn for r in got] == [
+            r.vpn_start - a.base_vpn for r in expected
+        ]
+        assert b.num_pages == a.num_pages == 6
+        assert b.mapped_fpages().tolist() == a.mapped_fpages().tolist()
+
+    def test_uncoalesced_one_request_per_page(self, column):
+        view = VirtualView(column, 0, 100)
+        requests = view.plan_runs([3, 4, 8], coalesce=False)
+        assert [(r.fpage_start, r.npages) for r in requests] == [
+            (3, 1),
+            (4, 1),
+            (8, 1),
+        ]
+
+    def test_empty_set(self, column):
+        view = VirtualView(column, 0, 100)
+        assert view.plan_runs(np.empty(0, dtype=np.int64)) == []
+        assert view.num_pages == 0
+
+    def test_duplicates_rejected(self, column):
+        view = VirtualView(column, 0, 100)
+        with pytest.raises(ValueError):
+            view.plan_runs([1, 2, 2, 3])
+        with pytest.raises(ValueError):
+            view.plan_runs([4, 2, 4])  # unsorted duplicate
+
+    def test_already_indexed_rejected(self, column):
+        view = VirtualView(column, 0, 100)
+        view.add_page(5)
+        with pytest.raises(ValueError):
+            view.plan_runs([4, 5, 6])
+
+    def test_unsorted_input_allowed(self, column):
+        view = VirtualView(column, 0, 100)
+        requests = view.plan_runs([7, 2, 3])
+        assert [(r.fpage_start, r.npages) for r in requests] == [(7, 1), (2, 2)]
+        assert view.num_pages == 3
+
+    def test_full_view_rejected(self, column):
+        full = VirtualView.full_view(column)
+        with pytest.raises(RuntimeError):
+            full.plan_runs([0])

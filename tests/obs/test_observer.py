@@ -11,6 +11,7 @@ The two load-bearing guarantees:
 import numpy as np
 import pytest
 
+from repro import fastpath
 from repro.core.adaptive import AdaptiveStorageLayer
 from repro.core.config import AdaptiveConfig
 from repro.core.facade import AdaptiveDatabase
@@ -134,10 +135,46 @@ def run_facade_workload(observe: bool):
         db.close()
 
 
-def test_observation_does_not_change_simulated_costs():
-    baseline = run_facade_workload(observe=False)
-    observed = run_facade_workload(observe=True)
+@pytest.mark.parametrize("mode", ["reference", "fast"])
+def test_observation_does_not_change_simulated_costs(mode):
+    ctx = fastpath.fast_paths if mode == "fast" else fastpath.reference_paths
+    with ctx():
+        baseline = run_facade_workload(observe=False)
+        observed = run_facade_workload(observe=True)
     assert observed == baseline
+
+
+def run_observed_metrics(ctx):
+    """The mmap/maps metrics an observed facade workload produces."""
+    with ctx():
+        db = AdaptiveDatabase(observe=True)
+        try:
+            db.create_table("t", sample_table())
+            for lo, hi in [(0, 200_000), (150_000, 400_000)] * 2:
+                db.query("t", "temp", lo, hi)
+            for row in range(0, 300, 5):
+                db.update("t", "temp", row, row * 3)
+            db.flush_updates("t", "temp")
+            metrics = db.observer.metrics
+            return {
+                "mmap_calls": sorted(
+                    metrics.get("mmap_calls_total").samples()
+                ),
+                "maps_lines": metrics.get("maps_lines").value(),
+            }
+        finally:
+            db.close()
+
+
+def test_bulk_paths_keep_metrics_truthful():
+    """``mmap_calls_total{kind}`` and ``maps_lines`` count coalesced/bulk
+    operations exactly as the per-page reference paths do."""
+    reference = run_observed_metrics(fastpath.reference_paths)
+    fast = run_observed_metrics(fastpath.fast_paths)
+    assert fast == reference
+    assert fast["maps_lines"] > 0
+    kinds = {labels[0][1] for labels, _ in fast["mmap_calls"]}
+    assert "fixed" in kinds
 
 
 def test_observation_off_by_default():

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import fastpath
 from repro.vm.address_space import AddressSpace
 from repro.vm.cost import CostModel
 from repro.vm.errors import BadAddressError, MapError
@@ -118,6 +119,70 @@ class TestFaults:
         asp.remove_mapping(0, 2)
         asp.add_mapping(Vma(start=0, npages=2))
         assert asp.fault_in(0) is True
+
+
+class TestBulkFaults:
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_counts_first_touches_only(self, asp, fast):
+        asp.add_mapping(Vma(start=0, npages=8))
+        asp.fault_in(2)
+        asp.fault_in(5)
+        with fastpath.fast_paths() if fast else fastpath.reference_paths():
+            assert asp.fault_in_range(0, 8) == 6
+            assert asp.fault_in_range(0, 8) == 0
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_range_spanning_merged_vmas(self, asp, file, fast):
+        asp.add_mapping(Vma(start=0, npages=4))
+        asp.add_mapping(Vma(start=4, npages=4, file=file, file_page=0))
+        with fastpath.fast_paths() if fast else fastpath.reference_paths():
+            assert asp.fault_in_range(2, 5) == 5
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_unmapped_hole_raises(self, asp, fast):
+        asp.add_mapping(Vma(start=0, npages=2))
+        asp.add_mapping(Vma(start=4, npages=2))
+        with fastpath.fast_paths() if fast else fastpath.reference_paths():
+            with pytest.raises(BadAddressError):
+                asp.fault_in_range(0, 6)
+
+    def test_empty_range_rejected(self, asp):
+        with pytest.raises(MapError):
+            asp.fault_in_range(0, 0)
+
+    def test_invalidation_with_sparse_fault_set(self, asp):
+        # A huge remap over a barely-touched area walks the (smaller)
+        # fault set, not the range — and must still forget the faults.
+        asp.add_mapping(Vma(start=0, npages=10_000))
+        asp.fault_in(17)
+        asp.fault_in(9_000)
+        asp.fault_in(3)
+        asp.remove_mapping(10, 9_980)  # drops 17 and 9000, keeps 3
+        asp.add_mapping(Vma(start=10, npages=9_980))
+        assert asp.fault_in(17) is True
+        assert asp.fault_in(9_000) is True
+        assert asp.fault_in(3) is False
+
+
+class TestGeneration:
+    def test_bumped_by_every_mapping_mutation(self, asp, file):
+        start = asp.generation
+        asp.add_mapping(Vma(start=0, npages=4, file=file, file_page=0))
+        assert asp.generation == start + 1
+        asp.protect_mapping(0, 2, "r")
+        assert asp.generation == start + 2
+        asp.replace_mapping(Vma(start=0, npages=2, file=file, file_page=8))
+        assert asp.generation == start + 3
+        asp.remove_mapping(0, 4)
+        assert asp.generation == start + 4
+
+    def test_not_bumped_by_faults_or_queries(self, asp):
+        asp.add_mapping(Vma(start=0, npages=4))
+        before = asp.generation
+        asp.fault_in(0)
+        asp.fault_in_range(1, 3)
+        asp.find_vma(2)
+        assert asp.generation == before
 
 
 class TestAllocator:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import fastpath
 from repro.vm.cost import CostModel
 from repro.vm.errors import ProcMapsError
 from repro.vm.mmap_api import MemoryMapper
@@ -158,3 +159,72 @@ class TestMappingSnapshot:
         snapshot_address_space(mapper.address_space, cost=cost)
         assert cost.ledger.counter("bimap_ops") >= 4
         assert cost.ledger.counter("maps_lines_parsed") == 1
+
+
+class TestMapsCache:
+    def _parse_costs(self, mapper, **kwargs):
+        cost = CostModel()
+        snapshot_address_space(mapper.address_space, cost=cost, **kwargs)
+        return cost.ledger.snapshot()
+
+    def test_render_cached_until_mapping_changes(self, mapper, file):
+        with fastpath.fast_paths():
+            mapper.mmap(4, file=file, file_page=0)
+            first = render_maps(mapper.address_space)
+            assert render_maps(mapper.address_space) is first  # cache hit
+            mapper.mmap(2)  # bump the generation
+            second = render_maps(mapper.address_space)
+            assert second is not first
+            assert len(second.splitlines()) == len(first.splitlines()) + 1
+
+    def test_cache_hit_charges_the_same_simulated_cost(self, mapper, file):
+        with fastpath.fast_paths():
+            mapper.mmap(4, file=file, file_page=0)
+            mapper.mmap(3, file=file, file_page=8)
+            miss = self._parse_costs(mapper)
+            hit = self._parse_costs(mapper)
+        with fastpath.reference_paths():
+            reference = self._parse_costs(mapper)
+        assert hit == miss == reference
+
+    def test_snapshots_agree_across_backends(self, mapper, file):
+        mapper.mmap(4, file=file, file_page=0)
+        mapper.mmap(2)  # anonymous
+        mapper.mmap(3, file=file, file_page=10)
+        aspace = mapper.address_space
+        with fastpath.reference_paths():
+            reference = snapshot_address_space(aspace)
+        with fastpath.fast_paths():
+            fast = snapshot_address_space(aspace)
+        assert len(fast) == len(reference)
+        for vpn in range(0x10000, 0x10000 + 16):
+            assert fast.physical_of(vpn) == reference.physical_of(vpn)
+        for fpage in range(12):
+            phys = ("/dev/shm/db", fpage)
+            assert fast.virtuals_of(phys) == reference.virtuals_of(phys)
+            assert fast.any_virtual_in_range(
+                phys, 0x10000, 0x10004
+            ) == reference.any_virtual_in_range(phys, 0x10000, 0x10004)
+
+    def test_array_snapshot_mutations_match_reference(self, mapper, file):
+        mapper.mmap(6, file=file, file_page=0)
+        aspace = mapper.address_space
+        with fastpath.reference_paths():
+            reference = snapshot_address_space(aspace)
+        with fastpath.fast_paths():
+            fast = snapshot_address_space(aspace)
+        base = 0x10000
+        for snapshot in (reference, fast):
+            snapshot.unmap(base + 2)
+            snapshot.unmap(base + 2)  # idempotent
+            snapshot.map(base + 40, ("/dev/shm/db", 2))
+            snapshot.map(base + 1, ("/dev/shm/db", 5))  # remap over base
+        assert len(fast) == len(reference)
+        for vpn in [base + i for i in range(8)] + [base + 40]:
+            assert fast.physical_of(vpn) == reference.physical_of(vpn)
+        for fpage in range(7):
+            phys = ("/dev/shm/db", fpage)
+            assert fast.virtuals_of(phys) == reference.virtuals_of(phys)
+            assert fast.any_virtual_in_range(
+                phys, base, base + 3
+            ) == reference.any_virtual_in_range(phys, base, base + 3)
