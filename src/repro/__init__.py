@@ -49,6 +49,12 @@ from .obs import (
     render_trace_tree,
 )
 from .storage import Catalog, PhysicalColumn, Table, UpdateBatch, UpdateRecord
+from .substrate import (
+    SimulatedSubstrate,
+    Substrate,
+    WallClockLedger,
+    make_substrate,
+)
 from .vm import (
     CostModel,
     CostParameters,
@@ -85,8 +91,12 @@ __all__ = [
     "QueryStats",
     "RoutingMode",
     "SequenceStats",
+    "SimulatedSubstrate",
+    "Substrate",
     "Table",
     "Tracer",
+    "WallClockLedger",
+    "make_substrate",
     "render_metrics_json",
     "render_prometheus",
     "render_trace_tree",

@@ -26,7 +26,7 @@ class FullScanBaseline:
         self, lo: int, hi: int, lane: str = MAIN_LANE
     ) -> tuple[np.ndarray, np.ndarray, QueryStats]:
         """Scan the whole column and filter against ``[lo, hi]``."""
-        cost = self.column.mapper.cost
+        cost = self.column.cost
         all_pages = np.arange(self.column.num_pages, dtype=np.int64)
         with cost.region() as region:
             result = batch_scan(

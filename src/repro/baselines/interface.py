@@ -42,7 +42,7 @@ class PartialIndexBase(ABC):
     @property
     def cost(self):  # noqa: ANN201 - convenience accessor
         """The column's shared cost model."""
-        return self.column.mapper.cost
+        return self.column.cost
 
     def build(self, lane: str = MAIN_LANE) -> None:
         """Scan the column once and index the qualifying pages."""

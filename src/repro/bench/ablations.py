@@ -159,7 +159,7 @@ def run_advisor_ablation(
     # 1. full scans only
     column = fresh_column(values, name="advisor_full")
     baseline = FullScanBaseline(column)
-    with column.mapper.cost.region() as region:
+    with column.cost.region() as region:
         for lo, hi in workload:
             baseline.query(lo, hi)
     result.points.append(
@@ -184,7 +184,7 @@ def run_advisor_ablation(
 
     # 3. perfect-knowledge static views (build cost included)
     column = fresh_column(values, name="advisor_static")
-    with column.mapper.cost.region() as region:
+    with column.cost.region() as region:
         advisor = ViewAdvisor(column)
         views = advisor.materialize(advisor.recommend(workload, max_views=20))
         for lo, hi in workload:

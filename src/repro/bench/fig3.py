@@ -102,7 +102,7 @@ def run_fig3(
             )
             index.apply_updates(batch)
 
-            cost = column.mapper.cost
+            cost = column.cost
             with cost.region() as region:
                 rowids, row_values = index.query(0, k // 2)
             if verify:

@@ -90,7 +90,7 @@ def run_fig6(num_pages: int | None = None, seed: int = 5) -> Fig6Result:
             full = VirtualView.full_view(column)
             mapper_thread = None
             if background:
-                mapper_thread = BackgroundMapper(column.mapper.cost)
+                mapper_thread = BackgroundMapper(column.cost)
             try:
                 report = create_partial_view(
                     column,

@@ -24,7 +24,7 @@ from ..core.stats import QueryStats, SequenceStats
 from ..storage.column import PhysicalColumn
 from ..storage.updates import UpdateBatch, UpdateRecord
 from ..vm.cost import CostModel
-from ..vm.mmap_api import MemoryMapper
+from ..substrate.simulated import SimulatedSubstrate
 from ..vm.physical import PhysicalMemory
 from ..workloads.queries import QuerySequence
 
@@ -68,9 +68,8 @@ def fresh_column(
     values: np.ndarray, name: str = "col", record_bytes: int = 8
 ) -> PhysicalColumn:
     """Materialize ``values`` in a brand-new simulated process."""
-    memory = PhysicalMemory(cost=CostModel())
-    mapper = MemoryMapper(memory)
-    return PhysicalColumn.create(mapper, name, values, record_bytes=record_bytes)
+    substrate = SimulatedSubstrate(memory=PhysicalMemory(cost=CostModel()))
+    return PhysicalColumn.create(substrate, name, values, record_bytes=record_bytes)
 
 
 def make_update_batch(

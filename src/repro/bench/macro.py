@@ -128,7 +128,7 @@ def run_macro(
     for label, config in _CONFIGS.items():
         table = _make_table(num_rows, seed)
         engine = QueryEngine(table, config)
-        cost = table.columns["shipdate"].mapper.cost
+        cost = table.columns["shipdate"].cost
         total_rows = 0
         with cost.region() as region:
             for query in workload:

@@ -18,10 +18,9 @@ from dataclasses import asdict, dataclass
 
 from .. import fastpath
 from ..core.creation import create_partial_view, materialize_pages
-from ..core.maintenance import SHM_PREFIX, align_partial_views
+from ..core.maintenance import align_partial_views
 from ..core.routing import scan_views
 from ..core.view import VirtualView
-from ..vm.procmaps import snapshot_address_space
 from ..workloads.distributions import DEFAULT_DOMAIN, linear, uniform
 from .harness import fresh_column, make_update_batch
 
@@ -205,13 +204,13 @@ def bench_maps_snapshot(num_pages: int, iterations: int) -> PerfResult:
         column = fresh_column(linear(num_pages, seed=7), name="perf_maps")
         full = VirtualView.full_view(column)
         create_partial_view(column, [full], lo, hi)
-        aspace = column.mapper.address_space
-        cost = column.mapper.cost
-        path = f"{SHM_PREFIX}{column.file.name}"
+        substrate = column.substrate
+        cost = column.cost
+        path = substrate.file_map_path(column.file)
 
         def call():
             for _ in range(SNAPSHOTS_PER_CALL):
-                snapshot_address_space(aspace, cost=cost, file_filter=path)
+                substrate.maps_snapshot(cost=cost, file_filter=path)
 
         return [call]
 

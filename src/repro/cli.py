@@ -217,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: BENCH_perf.json)",
     )
 
+    subparsers.add_parser(
+        "backends",
+        help="report substrate backend availability and active toggles",
+    )
+
     regress = subparsers.add_parser(
         "regress", help="compare two exported result directories"
     )
@@ -284,6 +289,65 @@ def _run_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def render_backends() -> str:
+    """One diagnostic block: backend availability and active toggles."""
+    import os
+
+    from . import fastpath
+    from .native import is_supported
+    from .native.platform import IS_LINUX, libc
+    from .vm.constants import PAGE_SIZE
+
+    lines = ["substrate backends", "=" * 40]
+    lines.append("simulated : available (default; headline numbers)")
+
+    native_ok = is_supported()
+    state = "available" if native_ok else "unavailable"
+    lines.append(f"native    : {state} (mechanism validation + wall-clock)")
+    lines.append(f"  linux mmap ABI     : {'yes' if IS_LINUX else 'no'}")
+    lines.append(f"  libc mmap bindings : {'yes' if libc() is not None else 'no'}")
+
+    try:
+        hw_page = os.sysconf("SC_PAGE_SIZE")
+    except (ValueError, OSError):  # pragma: no cover - exotic libc
+        hw_page = None
+    match = "matches" if hw_page == PAGE_SIZE else "MISMATCH"
+    lines.append(
+        f"  hardware page size : {hw_page} ({match} simulated {PAGE_SIZE})"
+    )
+
+    if hasattr(os, "memfd_create"):
+        try:
+            fd = os.memfd_create("repro-backend-probe")
+            os.close(fd)
+            file_source = "memfd_create"
+        except OSError:
+            file_source = (
+                "/dev/shm fallback" if os.path.isdir("/dev/shm") else "none"
+            )
+    else:
+        file_source = "/dev/shm fallback" if os.path.isdir("/dev/shm") else "none"
+    lines.append(f"  main-memory files  : {file_source}")
+
+    lines.append("")
+    lines.append("session toggles")
+    lines.append("-" * 40)
+    raw = os.environ.get(fastpath.ENV_VAR)
+    source = f"{fastpath.ENV_VAR}={raw}" if raw is not None else "default"
+    lines.append(
+        f"fast paths : {'on' if fastpath.enabled() else 'off'} ({source})"
+    )
+    lines.append(
+        "observe    : per-database opt-in (AdaptiveDatabase(observe=True))"
+    )
+    return "\n".join(lines)
+
+
+def _run_backends(args: argparse.Namespace) -> int:
+    print(render_backends())
+    return 0
+
+
 def _run_regress(args: argparse.Namespace) -> int:
     from .bench.regress import compare_suites
 
@@ -295,6 +359,8 @@ def _run_regress(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "backends":
+        return _run_backends(args)
     if args.command == "export":
         return _run_export(args)
     if args.command == "regress":

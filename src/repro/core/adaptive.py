@@ -69,7 +69,7 @@ class AdaptiveStorageLayer:
         self.view_index = ViewIndex(column, self.config, observer=self.observer)
         self._background: BackgroundMapper | None = None
         if self.config.background_mapping:
-            self._background = BackgroundMapper(column.mapper.cost)
+            self._background = BackgroundMapper(column.cost)
         # Serializes queries and maintenance against the shared view
         # index; concurrent callers stay correct (simulated time is
         # unaffected — it accumulates on the cost ledger either way).
@@ -82,7 +82,7 @@ class AdaptiveStorageLayer:
         if lo > hi:
             raise ValueError(f"inverted query range [{lo}, {hi}]")
         lo, hi = clamp_range(lo, hi)
-        cost = self.column.mapper.cost
+        cost = self.column.cost
         obs = self.observer
 
         with self._lock, cost.region() as region, obs.span(

@@ -178,7 +178,7 @@ def create_partial_view(
     with the selected optimizations.  The returned report separates the
     scanning and mapping lanes so the overlap effect is visible.
     """
-    cost = column.mapper.cost
+    cost = column.cost
     with cost.region() as region:
         routed = scan_views(column, source_views, lo, hi)
         view = VirtualView(column, lo, hi)

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..obs.observer import Observer
 from ..storage.table import Catalog, Table
+from ..substrate import Substrate, make_substrate
 from ..vm.cost import CostModel
 from ..vm.physical import PhysicalMemory
 from .adaptive import AdaptiveStorageLayer, QueryResult
@@ -31,6 +32,7 @@ class AdaptiveDatabase:
         cost: CostModel | None = None,
         auto_flush_threshold: int | None = None,
         observe: bool | Observer = False,
+        backend: str | Substrate = "simulated",
     ) -> None:
         """``auto_flush_threshold`` enables automatic batch view
         realignment: once a column's pending update log reaches the
@@ -43,12 +45,21 @@ class AdaptiveDatabase:
         :class:`Observer` to share one across databases.  Off by default:
         no observation work happens, and simulated timings are identical
         either way because observation never charges the cost ledger.
+
+        ``backend`` selects the memory substrate the whole stack runs
+        on: ``"simulated"`` (default — deterministic, cost-modelled) or
+        ``"native"`` (real Linux memfd files and ``mmap(MAP_FIXED)``
+        rewiring; Linux only).  A pre-built
+        :class:`~repro.substrate.interface.Substrate` is also accepted.
         """
         if auto_flush_threshold is not None and auto_flush_threshold < 1:
             raise ValueError("auto_flush_threshold must be positive")
         self.config = config or AdaptiveConfig()
         self.auto_flush_threshold = auto_flush_threshold
-        self.catalog = Catalog(PhysicalMemory(capacity_bytes, cost=cost))
+        self.substrate = make_substrate(
+            backend, capacity_bytes=capacity_bytes, cost=cost
+        )
+        self.catalog = Catalog(substrate=self.substrate)
         #: The attached observer, or None when observation is off.
         self.observer: Observer | None = None
         if observe:
@@ -57,7 +68,7 @@ class AdaptiveDatabase:
                 if isinstance(observe, Observer)
                 else Observer(self.catalog.cost.ledger)
             )
-            self.catalog.mapper.observer = self.observer
+            self.substrate.set_observer(self.observer)
         self._layers: dict[tuple[str, str], AdaptiveStorageLayer] = {}
 
     @property
@@ -148,10 +159,13 @@ class AdaptiveDatabase:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down all layers (stops background mapping threads)."""
+        """Shut down all layers (stops background mapping threads) and
+        release backend resources (real mappings and file descriptors on
+        the native backend; a no-op on the simulated one)."""
         for layer in self._layers.values():
             layer.shutdown()
         self._layers.clear()
+        self.substrate.close()
 
     def __enter__(self) -> "AdaptiveDatabase":
         return self

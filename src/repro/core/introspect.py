@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..vm.constants import PAGE_SIZE
-from ..vm.procmaps import maps_line_count
 from .view import VirtualView
 from .view_index import ViewIndex
 
@@ -117,7 +116,7 @@ def inspect_view_index(index: ViewIndex) -> IndexReport:
     report.virtual_amplification = (
         reserved / column.num_pages if column.num_pages else 0.0
     )
-    report.maps_lines = maps_line_count(column.mapper.address_space)
+    report.maps_lines = column.substrate.maps_line_count()
     report.recent_decisions = [
         event.describe() for event in index.history[-5:]
     ]

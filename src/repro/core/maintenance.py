@@ -29,15 +29,16 @@ import bisect
 from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..storage.updates import UpdateBatch
+
+# Re-exported for compatibility: the prefix now lives with the simulated
+# substrate, the single place that renders maps paths.
+from ..substrate.simulated import SHM_PREFIX  # noqa: F401
 from ..vm.cost import MAIN_LANE
-from ..vm.procmaps import MappingSnapshot, snapshot_address_space
+from ..vm.procmaps import MappingSnapshot
 from .creation import materialize_pages
 from .routing import scan_views
 from .stats import MaintenanceStats
 from .view import VirtualView
-
-#: Path prefix under which main-memory files appear in the maps file.
-SHM_PREFIX = "/dev/shm/"
 
 
 def _any_in_range(sorted_values: list[int], lo: int, hi: int) -> bool:
@@ -74,7 +75,7 @@ def align_partial_views(
     page add/remove counts that Figure 7 plots.
     """
     obs = observer or NULL_OBSERVER
-    cost = column.mapper.cost
+    cost = column.cost
     stats = MaintenanceStats(batch_size=len(batch))
 
     with obs.span("maintenance", batch=len(batch), views=len(views)) as span:
@@ -84,11 +85,12 @@ def align_partial_views(
         # Compaction and grouping hash every raw and compacted update once.
         cost.update_check(len(batch) + len(compacted), lane)
 
-        # Step 2: parse the memory mappings once for the whole batch.
-        path = f"{SHM_PREFIX}{column.file.name}"
+        # Step 2: parse the memory mappings once for the whole batch —
+        # from whichever maps source the backend provides (the simulated
+        # renderer or the kernel's real /proc/self/maps).
+        path = column.substrate.file_map_path(column.file)
         with cost.region() as parse_region, obs.span("maps-parse"):
-            snapshot = snapshot_address_space(
-                column.mapper.address_space,
+            snapshot = column.substrate.maps_snapshot(
                 cost=cost,
                 lane=lane,
                 file_filter=path,
@@ -172,7 +174,7 @@ def rebuild_partial_views(
     followed by mapping all qualifying pages.  Returns the new views and
     the simulated rebuild time.
     """
-    cost = column.mapper.cost
+    cost = column.cost
     rebuilt: list[VirtualView] = []
     with cost.region() as region:
         for lo, hi in ranges:

@@ -156,7 +156,7 @@ class QueryEngine:
             per_page = column.values_per_page
             pages = rowids // per_page
             slots = rowids % per_page
-            cost = column.mapper.cost
+            cost = column.cost
             distinct_pages = int(np.unique(pages).size)
             cost.page_access("random", distinct_pages, lane)
             cost.stream_values(
@@ -222,7 +222,7 @@ class QueryEngine:
             for match in table.get(value, ()):
                 pairs.append((match, row) if not swapped else (row, match))
         # build + probe passes over the filtered values
-        cost = self.table.columns[left_column].mapper.cost
+        cost = self.table.columns[left_column].cost
         cost.update_check(int(build_rows.size) + int(probe_rows.size))
         if not pairs:
             return np.empty((0, 2), dtype=np.int64)

@@ -75,7 +75,7 @@ def scan_views(
         )
 
     obs = observer or NULL_OBSERVER
-    cost = column.mapper.cost
+    cost = column.cost
     multi = len(views) > 1
     processed: np.ndarray | None = None
     if multi:

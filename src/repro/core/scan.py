@@ -127,7 +127,7 @@ def batch_scan(
     page_qualifies = qual_mask.any(axis=1)
 
     if charge:
-        cost = column.mapper.cost
+        cost = column.cost
         n = int(fpages.size)
         if valid is None:
             total_values = n * column.values_per_page

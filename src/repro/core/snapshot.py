@@ -26,8 +26,8 @@ import numpy as np
 from ..storage import layout
 from ..storage.column import PhysicalColumn
 from ..storage.page import clamp_range
+from ..substrate.interface import PageStore
 from ..vm.cost import MAIN_LANE
-from ..vm.physical import MemoryFile
 
 
 class ColumnSnapshot:
@@ -42,14 +42,14 @@ class ColumnSnapshot:
         ColumnSnapshot._counter += 1
         self.snapshot_id = ColumnSnapshot._counter
         self.column = column
-        self.mapper = column.mapper
+        self.substrate = column.substrate
         self.num_rows = column.num_rows
         self.num_pages = column.num_pages
         # One shared mapping of the whole column: the cheap part.
-        self.base_vpn = self.mapper.mmap(
-            self.num_pages, file=column.file, file_page=0, lane=lane
+        self.base_vpn = self.substrate.map_file(
+            self.num_pages, column.file, file_page=0, lane=lane
         )
-        self._copy_file: MemoryFile | None = None
+        self._copy_file: PageStore | None = None
         self._copy_of: dict[int, int] = {}  # column page -> copy-file page
         self.alive = True
 
@@ -58,10 +58,10 @@ class ColumnSnapshot:
         """Pages preserved copy-on-write so far."""
         return len(self._copy_of)
 
-    def _copy_file_handle(self) -> MemoryFile:
+    def _copy_file_handle(self) -> PageStore:
         if self._copy_file is None:
             name = f"{self.column.file.name}.snap{self.snapshot_id}"
-            self._copy_file = self.mapper.memory.create_file(
+            self._copy_file = self.substrate.create_file(
                 name, 1, slots_per_page=self.column.values_per_page
             )
             self._copy_file.headers[0] = -1  # slot 0 unused until claimed
@@ -86,11 +86,11 @@ class ColumnSnapshot:
         copy_file.headers[copy_page] = self.column.file.headers[fpage]
         self._copy_of[fpage] = copy_page
 
-        cost = self.mapper.cost
+        cost = self.substrate.cost
         per_page = self.column.values_per_page * self.column.value_cost_factor
         cost.full_page_scan(per_page, 1, kind="random", lane=lane)
         cost.value_write(per_page, lane)
-        self.mapper.remap_fixed(
+        self.substrate.map_fixed(
             self.base_vpn + fpage, 1, copy_file, copy_page, lane=lane
         )
         cost.ledger.count("snapshot_pages_copied")
@@ -113,7 +113,7 @@ class ColumnSnapshot:
         per_page = self.column.values_per_page
         page = layout.row_to_page(row, per_page)
         slot = layout.row_to_slot(row, per_page)
-        self.mapper.cost.page_access("random", 1, lane)
+        self.substrate.cost.page_access("random", 1, lane)
         return int(self._page_values(page)[slot])
 
     def values(self) -> np.ndarray:
@@ -146,7 +146,7 @@ class ColumnSnapshot:
             if slots.size:
                 all_rowids.append(fpage * self.column.values_per_page + slots)
                 all_values.append(values[slots])
-        cost = self.mapper.cost
+        cost = self.substrate.cost
         cost.full_page_scan(
             self.column.values_per_page * self.column.value_cost_factor,
             self.num_pages,
@@ -166,9 +166,9 @@ class ColumnSnapshot:
         if not self.alive:
             return
         self.alive = False
-        self.mapper.munmap(self.base_vpn, self.num_pages, lane=lane)
+        self.substrate.munmap(self.base_vpn, self.num_pages, lane=lane)
         if self._copy_file is not None:
-            self.mapper.memory.delete_file(self._copy_file.name)
+            self.substrate.delete_file(self._copy_file.name)
             self._copy_file = None
         self._copy_of.clear()
 

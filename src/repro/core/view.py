@@ -55,12 +55,12 @@ class VirtualView:
         if lo > hi:
             raise ValueError(f"inverted value range [{lo}, {hi}]")
         self.column = column
-        self.mapper = column.mapper
+        self.substrate = column.substrate
         self.lo = lo
         self.hi = hi
         self.capacity = column.num_pages
         self.is_full_view = False
-        self.base_vpn = self.mapper.mmap(self.capacity, lane=lane)
+        self.base_vpn = self.substrate.reserve(self.capacity, lane=lane)
         self._fpage_at = np.full(self.capacity, -1, dtype=np.int64)
         self._slot_by_fpage = np.full(self.capacity, -1, dtype=np.int64)
         self._touched = np.zeros(self.capacity, dtype=bool)
@@ -79,13 +79,13 @@ class VirtualView:
         """
         view = cls.__new__(cls)
         view.column = column
-        view.mapper = column.mapper
+        view.substrate = column.substrate
         view.lo = MIN_VALUE
         view.hi = MAX_VALUE
         view.capacity = column.num_pages
         view.is_full_view = True
-        view.base_vpn = view.mapper.mmap(
-            column.num_pages, file=column.file, file_page=0, lane=lane
+        view.base_vpn = view.substrate.map_file(
+            column.num_pages, column.file, file_page=0, lane=lane
         )
         identity = np.arange(column.num_pages, dtype=np.int64)
         view._fpage_at = identity
@@ -99,6 +99,15 @@ class VirtualView:
         return view
 
     # -- introspection ---------------------------------------------------
+
+    @property
+    def mapper(self):
+        """Simulated :class:`~repro.vm.mmap_api.MemoryMapper` accessor.
+
+        Compatibility shim; raises :class:`AttributeError` on backends
+        without a simulated mapper.
+        """
+        return self.substrate.mapper
 
     @property
     def num_pages(self) -> int:
@@ -265,7 +274,7 @@ class VirtualView:
         very first page access after (re-)mapping" is amortized into the
         mapping step.
         """
-        self.mapper.remap_fixed(
+        self.substrate.map_fixed(
             request.vpn_start,
             request.npages,
             self.column.file,
@@ -296,7 +305,7 @@ class VirtualView:
         self._slot_by_fpage[fpage] = slot
         self._num_mapped += 1
         self._mapped_cache = None
-        self.mapper.remap_fixed(
+        self.substrate.map_fixed(
             self.base_vpn + slot, 1, self.column.file, fpage, populate=True, lane=lane
         )
         self._touched[slot] = True
@@ -318,15 +327,16 @@ class VirtualView:
         self._num_mapped -= 1
         self._free_slots.append(slot)
         self._mapped_cache = None
-        self.mapper.mmap(1, addr=self.base_vpn + slot, fixed=True, lane=lane)
+        self.substrate.unmap_slot(self.base_vpn + slot, 1, lane=lane)
 
     def destroy(self, lane: str = MAIN_LANE) -> None:
         """Tear the view down (discarded candidate / dropped view)."""
         if not self._alive:
             return
         removed_pages = self.num_pages
-        self.mapper.address_space.remove_mapping(self.base_vpn, self.capacity)
-        self.mapper.cost.munmap_call(removed_pages, lane)
+        self.substrate.release_region(
+            self.base_vpn, self.capacity, removed_pages, lane=lane
+        )
         self._fpage_at[:] = -1
         self._slot_by_fpage[:] = -1
         self._num_mapped = 0
@@ -355,7 +365,7 @@ class VirtualView:
         untouched = slots[~self._touched[slots]]
         n = int(untouched.size)
         if n:
-            self.mapper.cost.soft_fault(n, lane)
+            self.substrate.cost.soft_fault(n, lane)
             self._touched[untouched] = True
         return n
 

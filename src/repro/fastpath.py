@@ -27,7 +27,10 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
-_enabled: bool = os.environ.get("REPRO_FAST_PATHS", "1").lower() not in (
+#: Environment variable controlling the startup default.
+ENV_VAR = "REPRO_FAST_PATHS"
+
+_enabled: bool = os.environ.get(ENV_VAR, "1").lower() not in (
     "0",
     "false",
     "off",

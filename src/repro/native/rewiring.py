@@ -19,57 +19,41 @@ unsupported platforms.
 from __future__ import annotations
 
 import ctypes
-import ctypes.util
 import os
-import sys
 import tempfile
 
 from ..vm.constants import PAGE_SIZE
-
-PROT_NONE = 0x0
-PROT_READ = 0x1
-PROT_WRITE = 0x2
-
-MAP_SHARED = 0x01
-MAP_PRIVATE = 0x02
-MAP_FIXED = 0x10
-MAP_ANONYMOUS = 0x20
-
-_MAP_FAILED = ctypes.c_void_p(-1).value
+from .platform import (
+    MAP_ANONYMOUS,
+    MAP_FAILED,
+    MAP_FIXED,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    libc,
+)
 
 
 class RewiringUnsupportedError(RuntimeError):
     """Raised when the platform cannot do user-space rewiring."""
 
 
-def _load_libc() -> ctypes.CDLL | None:
-    if not sys.platform.startswith("linux"):
-        return None
-    name = ctypes.util.find_library("c") or "libc.so.6"
-    try:
-        libc = ctypes.CDLL(name, use_errno=True)
-    except OSError:
-        return None
-    libc.mmap.restype = ctypes.c_void_p
-    libc.mmap.argtypes = [
-        ctypes.c_void_p,
-        ctypes.c_size_t,
-        ctypes.c_int,
-        ctypes.c_int,
-        ctypes.c_int,
-        ctypes.c_long,
-    ]
-    libc.munmap.restype = ctypes.c_int
-    libc.munmap.argtypes = [ctypes.c_void_p, ctypes.c_size_t]
-    return libc
-
-
-_LIBC = _load_libc()
-
-
 def is_supported() -> bool:
-    """Whether real rewiring works on this platform."""
-    if _LIBC is None:
+    """Whether real rewiring works on this platform.
+
+    Requires a Linux libc with mmap, a hardware page size matching the
+    simulated :data:`~repro.vm.constants.PAGE_SIZE` (rewiring happens at
+    page granularity, so the two must agree), and a working main-memory
+    file source (memfd or a writable /dev/shm).
+    """
+    if libc() is None:
+        return False
+    try:
+        if os.sysconf("SC_PAGE_SIZE") != PAGE_SIZE:
+            return False
+    except (ValueError, OSError):  # pragma: no cover - exotic libc
         return False
     try:
         f = NativeMemoryFile(1)
@@ -154,12 +138,12 @@ class RewiredRegion:
     """
 
     def __init__(self, num_pages: int) -> None:
-        if _LIBC is None:
+        if libc() is None:
             raise RewiringUnsupportedError("libc/mmap not available")
         if num_pages <= 0:
             raise ValueError("need at least one page")
         self.num_pages = num_pages
-        addr = _LIBC.mmap(
+        addr = libc().mmap(
             None,
             num_pages * PAGE_SIZE,
             PROT_NONE,
@@ -167,7 +151,7 @@ class RewiredRegion:
             -1,
             0,
         )
-        if addr == _MAP_FAILED or addr is None:
+        if addr == MAP_FAILED or addr is None:
             raise _errno_error("anonymous reservation mmap")
         self.addr = addr
 
@@ -182,7 +166,7 @@ class RewiredRegion:
         self._check_range(region_page, npages)
         if not 0 <= file_page <= file.num_pages - npages:
             raise ValueError("file range out of bounds")
-        addr = _LIBC.mmap(
+        addr = libc().mmap(
             self.addr + region_page * PAGE_SIZE,
             npages * PAGE_SIZE,
             PROT_READ | PROT_WRITE,
@@ -190,13 +174,13 @@ class RewiredRegion:
             file.fd,
             file_page * PAGE_SIZE,
         )
-        if addr == _MAP_FAILED or addr is None:
+        if addr == MAP_FAILED or addr is None:
             raise _errno_error("MAP_FIXED rewiring mmap")
 
     def unmap_range(self, region_page: int, npages: int = 1) -> None:
         """Point region pages back at inaccessible anonymous memory."""
         self._check_range(region_page, npages)
-        addr = _LIBC.mmap(
+        addr = libc().mmap(
             self.addr + region_page * PAGE_SIZE,
             npages * PAGE_SIZE,
             PROT_NONE,
@@ -204,7 +188,7 @@ class RewiredRegion:
             -1,
             0,
         )
-        if addr == _MAP_FAILED or addr is None:
+        if addr == MAP_FAILED or addr is None:
             raise _errno_error("anonymous re-protection mmap")
 
     def read(self, region_page: int, length: int = PAGE_SIZE) -> bytes:
@@ -227,7 +211,7 @@ class RewiredRegion:
     def close(self) -> None:
         """Unmap the whole region (idempotent)."""
         if self.addr:
-            _LIBC.munmap(self.addr, self.num_pages * PAGE_SIZE)
+            libc().munmap(self.addr, self.num_pages * PAGE_SIZE)
             self.addr = 0
 
     def __enter__(self) -> "RewiredRegion":

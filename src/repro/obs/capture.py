@@ -68,8 +68,8 @@ def run_observed_workload(
     values = generate(experiment, num_pages, seed=seed)
     column = fresh_column(values, name=experiment)
 
-    observer = Observer(column.mapper.cost.ledger, max_spans=max_spans)
-    column.mapper.observer = observer
+    observer = Observer(column.cost.ledger, max_spans=max_spans)
+    column.substrate.set_observer(observer)
     layer = AdaptiveStorageLayer(column, AdaptiveConfig(), observer=observer)
 
     queries = selectivity_sweep(num_queries=num_queries, seed=seed)

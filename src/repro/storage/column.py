@@ -18,27 +18,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..vm.cost import MAIN_LANE
+from ..substrate.interface import PageStore, Substrate
+from ..substrate.simulated import as_substrate
+from ..vm.cost import MAIN_LANE, CostModel
 from ..vm.constants import VALUE_WIDTH
-from ..vm.mmap_api import MemoryMapper
-from ..vm.physical import MemoryFile
 from . import layout
 from .page import PageScanResult, scan_and_filter
 
 
 class PhysicalColumn:
-    """One column materialized in physical memory (a main-memory file)."""
+    """One column materialized in physical memory (a main-memory file).
+
+    The column speaks only the backend-neutral
+    :class:`~repro.substrate.interface.Substrate` protocol; legacy
+    callers may still pass a :class:`~repro.vm.mmap_api.MemoryMapper`,
+    which is wrapped in a simulated substrate transparently.
+    """
 
     def __init__(
         self,
         name: str,
-        mapper: MemoryMapper,
-        file: MemoryFile,
+        substrate: Substrate,
+        file: PageStore,
         num_rows: int,
         record_bytes: int = VALUE_WIDTH,
     ) -> None:
         self.name = name
-        self.mapper = mapper
+        self.substrate = as_substrate(substrate)
         self.file = file
         self.num_rows = num_rows
         #: Width of one stored record; the indexed key is its first 8 B.
@@ -47,10 +53,24 @@ class PhysicalColumn:
         #: snapshotting uses this to preserve pages copy-on-write.
         self._pre_write_hooks: list = []
 
+    @property
+    def cost(self) -> CostModel:
+        """The substrate's shared (simulated) cost model."""
+        return self.substrate.cost
+
+    @property
+    def mapper(self):
+        """The simulated :class:`~repro.vm.mmap_api.MemoryMapper`.
+
+        Compatibility accessor for simulated-only code and tests;
+        raises :class:`AttributeError` on backends without one.
+        """
+        return self.substrate.mapper
+
     @classmethod
     def create(
         cls,
-        mapper: MemoryMapper,
+        substrate: Substrate,
         name: str,
         values: np.ndarray,
         record_bytes: int = VALUE_WIDTH,
@@ -61,17 +81,18 @@ class PhysicalColumn:
         pages with embedded pageIDs, and charges the initial write.
         ``record_bytes`` > 8 models wide records (key + payload).
         """
+        substrate = as_substrate(substrate)
         values = np.asarray(values, dtype=np.int64)
         if values.ndim != 1 or values.size == 0:
             raise ValueError("column values must be a non-empty 1-D array")
         per_page = layout.records_per_page(record_bytes)
         num_pages = layout.pages_for_rows(values.size, per_page)
-        file = mapper.memory.create_file(name, num_pages, slots_per_page=per_page)
+        file = substrate.create_file(name, num_pages, slots_per_page=per_page)
         flat = np.zeros(num_pages * per_page, dtype=np.int64)
         flat[: values.size] = values
         file.data[:] = flat.reshape(num_pages, per_page)
-        mapper.cost.value_write(values.size * record_bytes // VALUE_WIDTH)
-        return cls(name, mapper, file, values.size, record_bytes=record_bytes)
+        substrate.cost.value_write(values.size * record_bytes // VALUE_WIDTH)
+        return cls(name, substrate, file, values.size, record_bytes=record_bytes)
 
     @property
     def num_pages(self) -> int:
@@ -111,7 +132,7 @@ class PhysicalColumn:
         per_page = self.values_per_page
         page = layout.row_to_page(row, per_page)
         slot = layout.row_to_slot(row, per_page)
-        self.mapper.cost.page_access("random", 1, lane)
+        self.cost.page_access("random", 1, lane)
         return int(self.file.data[page, slot])
 
     def write(self, row: int, value: int, lane: str = MAIN_LANE) -> int:
@@ -128,7 +149,7 @@ class PhysicalColumn:
             hook(row, page)
         old = int(self.file.data[page, slot])
         self.file.data[page, slot] = value
-        self.mapper.cost.value_write(1, lane)
+        self.cost.value_write(1, lane)
         return old
 
     def add_pre_write_hook(self, hook) -> None:
@@ -167,7 +188,7 @@ class PhysicalColumn:
             hi,
             valid_count=self.valid_count(fpage),
             values_per_page=self.values_per_page,
-            cost=self.mapper.cost if charge else None,
+            cost=self.cost if charge else None,
             cost_factor=self.value_cost_factor,
             access_kind=access_kind,
             lane=lane,

@@ -20,9 +20,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..substrate.interface import PageStore
 from ..vm.constants import MAX_VALUE, MIN_VALUE
 from ..vm.cost import MAIN_LANE, CostModel
-from ..vm.physical import MemoryFile
 
 
 @dataclass(frozen=True)
@@ -50,7 +50,7 @@ def clamp_range(lo: int, hi: int) -> tuple[int, int]:
 
 
 def scan_and_filter(
-    file: MemoryFile,
+    file: PageStore,
     fpage: int,
     lo: int,
     hi: int,
@@ -62,6 +62,9 @@ def scan_and_filter(
     lane: str = MAIN_LANE,
 ) -> PageScanResult:
     """Scan physical page ``fpage`` of ``file`` for values in ``[lo, hi]``.
+
+    ``file`` is any :class:`~repro.substrate.interface.PageStore` — a
+    simulated memory file or a native memfd-backed store.
 
     ``valid_count`` limits the scan to the page's filled prefix (the last
     page of a column may be partial); ``values_per_page`` is the page's

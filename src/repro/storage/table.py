@@ -17,8 +17,9 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from ..substrate.interface import Substrate
+from ..substrate.simulated import SimulatedSubstrate, as_substrate
 from ..vm.cost import CostModel
-from ..vm.mmap_api import MemoryMapper
 from ..vm.physical import PhysicalMemory
 from .column import PhysicalColumn
 from .updates import UpdateBatch
@@ -154,28 +155,53 @@ class Table:
 
 
 class Catalog:
-    """All tables of one simulated process, sharing an address space."""
+    """All tables of one process, sharing one memory substrate.
+
+    The substrate is the backend the process runs on — simulated by
+    default; pass ``substrate=`` (e.g. a
+    :class:`~repro.substrate.native.NativeSubstrate`) to run on another
+    backend.  Legacy callers passing ``memory=`` keep working: the
+    :class:`~repro.vm.physical.PhysicalMemory` is wrapped in a simulated
+    substrate.
+    """
 
     def __init__(
         self,
         memory: PhysicalMemory | None = None,
         cost: CostModel | None = None,
+        substrate: Substrate | None = None,
     ) -> None:
-        self.memory = memory or PhysicalMemory(cost=cost)
-        self.mapper = MemoryMapper(self.memory)
+        if substrate is not None:
+            if memory is not None:
+                raise ValueError("pass either substrate= or memory=, not both")
+            self.substrate = as_substrate(substrate)
+        else:
+            self.substrate = SimulatedSubstrate(memory=memory, cost=cost)
         self._tables: dict[str, Table] = {}
 
     @property
     def cost(self) -> CostModel:
-        """The shared cost model of the simulated process."""
-        return self.memory.cost
+        """The shared cost model of the process."""
+        return self.substrate.cost
+
+    @property
+    def memory(self) -> PhysicalMemory:
+        """The simulated physical memory (simulated backend only)."""
+        return self.substrate.memory
+
+    @property
+    def mapper(self):
+        """The simulated memory mapper (simulated backend only)."""
+        return self.substrate.mapper
 
     def create_table(self, name: str, data: Mapping[str, np.ndarray]) -> Table:
         """Create a table named ``name`` from per-column value arrays."""
         if name in self._tables:
             raise ValueError(f"table {name!r} already exists")
         columns = {
-            col_name: PhysicalColumn.create(self.mapper, f"{name}.{col_name}", values)
+            col_name: PhysicalColumn.create(
+                self.substrate, f"{name}.{col_name}", values
+            )
             for col_name, values in data.items()
         }
         table = Table(name, columns)
@@ -192,7 +218,7 @@ class Catalog:
         """Drop a table and free its physical memory."""
         table = self.get_table(name)
         for column in table.columns.values():
-            self.memory.delete_file(column.file.name)
+            self.substrate.delete_file(column.file.name)
         del self._tables[name]
 
     def tables(self) -> list[Table]:

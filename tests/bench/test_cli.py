@@ -80,3 +80,36 @@ class TestMain:
         capsys.readouterr()
         assert main(["regress", str(a), str(b)]) == 1
         assert "regressed" in capsys.readouterr().out
+
+
+class TestBackendsCommand:
+    def test_backends_registered(self):
+        args = build_parser().parse_args(["backends"])
+        assert args.command == "backends"
+
+    def test_backends_reports_both_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "substrate backends" in out
+        assert "simulated : available" in out
+        assert "native    :" in out
+        assert "fast paths :" in out
+        assert "observe    :" in out
+
+    def test_backends_matches_is_supported(self, capsys):
+        from repro.native import is_supported
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        expected = "available" if is_supported() else "unavailable"
+        assert f"native    : {expected}" in out
+
+    def test_backends_reflects_fastpath_toggle(self, capsys, monkeypatch):
+        from repro import fastpath
+
+        previous = fastpath.set_enabled(False)
+        try:
+            assert main(["backends"]) == 0
+            assert "fast paths : off" in capsys.readouterr().out
+        finally:
+            fastpath.set_enabled(previous)

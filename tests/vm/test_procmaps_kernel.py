@@ -1,0 +1,122 @@
+"""parse_maps against genuine kernel ``/proc/self/maps`` output.
+
+The other procmaps tests exercise the text the *simulator* renders; the
+native substrate feeds :func:`~repro.vm.procmaps.parse_maps` the
+kernel's own output instead.  These tests pin the parser to that format
+twice over: against a committed capture from a real Linux process (with
+memfd-backed mappings, a pathname containing spaces, anonymous
+mappings and the ``[heap]``/``[stack]``/``[vdso]`` pseudo-paths), and —
+on Linux — against a live read of this very process.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.vm.constants import PAGE_SIZE
+from repro.vm.cost import CostModel
+from repro.vm.procmaps import parse_maps
+
+FIXTURE = Path(__file__).parent / "fixtures" / "proc_self_maps.txt"
+
+
+@pytest.fixture(scope="module")
+def capture() -> str:
+    return FIXTURE.read_text()
+
+
+@pytest.fixture(scope="module")
+def entries(capture):
+    return parse_maps(capture)
+
+
+class TestKernelCapture:
+    def test_every_line_parses(self, capture, entries):
+        assert len(entries) == len(capture.splitlines())
+
+    def test_pseudo_paths(self, entries):
+        paths = {e.pathname for e in entries}
+        assert "[heap]" in paths
+        assert "[stack]" in paths
+        assert "[vdso]" in paths
+        assert "[vsyscall]" in paths
+
+    def test_memfd_pathname_with_spaces(self, entries):
+        """memfd pathnames keep their spaces and '(deleted)' suffix —
+        the native substrate matches stores to maps lines by this."""
+        matches = [e for e in entries if "t.col with space" in e.pathname]
+        assert len(matches) == 1
+        entry = matches[0]
+        assert entry.pathname == "/memfd:t.col with space (deleted)"
+        assert entry.npages == 4
+        assert entry.perms == "rw-s"
+        assert entry.file_page == 0
+        assert not entry.anonymous
+
+    def test_anonymous_mappings(self, entries):
+        anonymous = [e for e in entries if e.anonymous]
+        assert anonymous
+        assert all(e.pathname == "" for e in anonymous)
+        assert all(e.inode == 0 for e in anonymous)
+
+    def test_entries_sorted_and_disjoint(self, entries):
+        for prev, cur in zip(entries, entries[1:]):
+            assert prev.end_vpn <= cur.start_vpn
+
+    def test_file_offsets_are_page_units(self, entries):
+        """Kernel offsets are hex bytes; parse_maps exposes file pages."""
+        offset_mapped = [e for e in entries if e.file_page > 0]
+        assert offset_mapped  # the python binary maps several segments
+        python_segments = [
+            e for e in entries if e.pathname.endswith("/python3.11")
+        ]
+        assert len(python_segments) > 1
+        assert any(e.file_page > 0 for e in python_segments)
+
+    def test_vsyscall_perms_parse(self, entries):
+        vsyscall = next(e for e in entries if e.pathname == "[vsyscall]")
+        assert vsyscall.perms == "--xp"
+
+    def test_parse_cost_charged_per_line(self, capture):
+        cost = CostModel()
+        parse_maps(capture, cost=cost)
+        assert cost.ledger.counter("maps_lines_parsed") == len(
+            capture.splitlines()
+        )
+
+
+@pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="needs /proc/self/maps"
+)
+class TestLiveProcSelfMaps:
+    def test_parses_this_process(self):
+        with open("/proc/self/maps") as fh:
+            text = fh.read()
+        entries = parse_maps(text)
+        assert len(entries) == len(text.splitlines())
+        assert "[stack]" in {e.pathname for e in entries}
+        assert any(e.anonymous for e in entries)
+
+    def test_live_memfd_mapping_round_trips(self):
+        if not hasattr(os, "memfd_create"):
+            pytest.skip("no memfd_create on this kernel")
+        import mmap as _mmap
+
+        fd = os.memfd_create("live maps probe")
+        try:
+            os.ftruncate(fd, 3 * PAGE_SIZE)
+            mm = _mmap.mmap(fd, 3 * PAGE_SIZE, _mmap.MAP_SHARED)
+            try:
+                path = os.readlink(f"/proc/self/fd/{fd}")
+                with open("/proc/self/maps") as fh:
+                    entries = parse_maps(fh.read())
+                ours = [e for e in entries if e.pathname == path]
+                assert len(ours) == 1
+                assert ours[0].npages == 3
+                assert ours[0].inode == os.fstat(fd).st_ino
+            finally:
+                mm.close()
+        finally:
+            os.close(fd)
