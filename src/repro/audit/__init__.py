@@ -1,0 +1,24 @@
+"""Structural invariant auditing for the adaptive stack.
+
+:class:`InvariantAuditor` cross-checks view catalog, address-space
+VMAs/page tables, the bimap maps snapshot, and physical column contents
+— after any operation, on either backend, without charging the cost
+model.  See ``docs/robustness.md`` for the invariant catalogue.
+"""
+
+from .invariants import InvariantAuditor
+from .report import AuditFinding, AuditReport
+from .session import (
+    FAULT_LEVELS,
+    AuditSessionResult,
+    run_audited_session,
+)
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "AuditSessionResult",
+    "FAULT_LEVELS",
+    "InvariantAuditor",
+    "run_audited_session",
+]

@@ -1,0 +1,127 @@
+"""Audit reports: what the invariant auditor found, backend-neutrally.
+
+An :class:`AuditReport` collects every violated invariant as an
+:class:`AuditFinding` plus the structural quantities both backends must
+agree on (per-view page sets, mapped-region counts).  :meth:`AuditReport.summary`
+returns only the backend-neutral part, so a simulated and a native audit
+of the same seeded session can be compared for equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One violated invariant."""
+
+    #: Which invariant failed (e.g. ``"snapshot-agreement"``).
+    invariant: str
+    #: Human-readable description of the violation.
+    detail: str
+    #: Label of the audited column (``table.column``), if known.
+    label: str = ""
+    #: Value range of the offending view, if view-scoped.
+    view_range: tuple[int, int] | None = None
+    #: Offending physical page, if page-scoped.
+    fpage: int | None = None
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        parts = [f"[{self.invariant}]"]
+        if self.label:
+            parts.append(self.label)
+        if self.view_range is not None:
+            parts.append(f"v[{self.view_range[0]}, {self.view_range[1]}]")
+        if self.fpage is not None:
+            parts.append(f"page {self.fpage}")
+        parts.append(f"- {self.detail}")
+        return " ".join(parts)
+
+
+@dataclass
+class AuditReport:
+    """Result of one invariant audit (possibly merged over columns)."""
+
+    #: Backend the audit ran on ("simulated" / "native").
+    backend: str = "simulated"
+    #: Individual invariant assertions performed.
+    checks: int = 0
+    #: Violations found (empty = the audit passed).
+    findings: list[AuditFinding] = field(default_factory=list)
+    #: Per-view structure: ``{"label", "range", "pages", "full"}`` dicts,
+    #: sorted for backend-independent comparison.
+    views: list[dict] = field(default_factory=list)
+    #: Maps lines the audited columns' mappings occupy.
+    maps_regions: int = 0
+    #: File-backed pages mapped across the audited views.
+    mapped_pages: int = 0
+    #: Whether the semantic page-set invariant was checked (it is
+    #: skipped while a column has pending, un-flushed updates).
+    semantics_checked: bool = True
+
+    @property
+    def ok(self) -> bool:
+        """Whether every checked invariant held."""
+        return not self.findings
+
+    def add_finding(
+        self,
+        invariant: str,
+        detail: str,
+        label: str = "",
+        view_range: tuple[int, int] | None = None,
+        fpage: int | None = None,
+    ) -> None:
+        """Record one violation."""
+        self.findings.append(
+            AuditFinding(
+                invariant=invariant,
+                detail=detail,
+                label=label,
+                view_range=view_range,
+                fpage=fpage,
+            )
+        )
+
+    def merge(self, other: "AuditReport") -> "AuditReport":
+        """Fold another column's report into this one."""
+        self.checks += other.checks
+        self.findings.extend(other.findings)
+        self.views.extend(other.views)
+        self.views.sort(key=lambda v: (v["label"], v["range"]))
+        self.maps_regions += other.maps_regions
+        self.mapped_pages += other.mapped_pages
+        self.semantics_checked = self.semantics_checked and other.semantics_checked
+        return self
+
+    def summary(self) -> dict:
+        """The backend-neutral digest both backends must agree on."""
+        return {
+            "checks": self.checks,
+            "findings": [f.describe() for f in self.findings],
+            "views": self.views,
+            "maps_regions": self.maps_regions,
+            "mapped_pages": self.mapped_pages,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"invariant audit ({self.backend} backend)",
+            "=" * 44,
+            f"checks run    : {self.checks}",
+            f"views audited : {len(self.views)}",
+            f"mapped pages  : {self.mapped_pages}",
+            f"maps regions  : {self.maps_regions}",
+        ]
+        if not self.semantics_checked:
+            lines.append("semantic check: skipped (pending updates)")
+        if self.ok:
+            lines.append("result        : PASS (no invariant violations)")
+        else:
+            lines.append(f"result        : FAIL ({len(self.findings)} finding(s))")
+            for finding in self.findings:
+                lines.append(f"  {finding.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Audited demo sessions for the ``python -m repro audit`` CLI verb.
+
+Runs a seeded adaptive session — queries, updates, flushes — optionally
+under an injected fault schedule, auditing the full invariant set after
+every flush and at the end.  Exit status reflects the audit outcome, so
+the verb doubles as a scriptable health check of the whole stack on
+either backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import AdaptiveConfig
+from ..core.facade import AdaptiveDatabase
+from ..faults import FaultRule, FaultSchedule, FaultySubstrate
+from ..seeds import derive_seed, resolve_seed
+from ..substrate import make_substrate
+from ..workloads.distributions import DEFAULT_DOMAIN, sine
+from .invariants import InvariantAuditor
+from .report import AuditReport
+
+#: Named fault intensities the CLI exposes.
+FAULT_LEVELS = ("none", "light", "heavy")
+
+
+def _schedule_for(level: str, seed: int) -> FaultSchedule | None:
+    """The fault schedule behind a named intensity."""
+    if level == "none":
+        return None
+    if level == "light":
+        rules = [
+            FaultRule(ops=("reserve", "map_file"), probability=0.02),
+            FaultRule(ops="map_fixed", probability=0.02),
+        ]
+    elif level == "heavy":
+        rules = [
+            FaultRule(ops=("reserve", "map_file"), probability=0.10),
+            FaultRule(ops="map_fixed", probability=0.10),
+            FaultRule(ops="unmap_slot", probability=0.05),
+            FaultRule(ops="maps_snapshot", probability=0.15),
+        ]
+    else:
+        raise ValueError(
+            f"unknown fault level {level!r}; choose from {', '.join(FAULT_LEVELS)}"
+        )
+    return FaultSchedule(rules, seed=seed)
+
+
+@dataclass
+class AuditSessionResult:
+    """Outcome of one audited session."""
+
+    #: The merged final audit report.
+    report: AuditReport
+    #: Reports taken mid-session (after each flush).
+    interim: list[AuditReport] = field(default_factory=list)
+    #: Faults that fired during the session, as journal lines.
+    faults: list[str] = field(default_factory=list)
+    #: Queries answered.
+    queries: int = 0
+    #: Rows returned across all queries.
+    rows: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every audit (interim and final) passed."""
+        return self.report.ok and all(r.ok for r in self.interim)
+
+    def render(self) -> str:
+        """Human-readable session summary plus the final report."""
+        lines = [
+            f"audited session: {self.queries} queries, {self.rows} rows",
+            f"faults injected: {len(self.faults)}",
+        ]
+        lines.extend(f"  {line}" for line in self.faults)
+        failed = sum(1 for r in self.interim if not r.ok)
+        lines.append(
+            f"interim audits : {len(self.interim)} ({failed} failed)"
+        )
+        lines.append("")
+        lines.append(self.report.render())
+        return "\n".join(lines)
+
+
+def run_audited_session(
+    num_pages: int = 64,
+    num_queries: int = 24,
+    backend: str = "simulated",
+    faults: str = "none",
+    seed: int | None = None,
+) -> AuditSessionResult:
+    """One seeded adaptive session with auditing after every flush."""
+    seed = resolve_seed(seed)
+    rng = np.random.default_rng(derive_seed(1, seed))
+    values = sine(num_pages, seed=derive_seed(2, seed))
+    lo_dom, hi_dom = DEFAULT_DOMAIN
+
+    substrate = FaultySubstrate(make_substrate(backend))
+    auditor = InvariantAuditor()
+    result: AuditSessionResult
+    with AdaptiveDatabase(
+        config=AdaptiveConfig(background_mapping=False), backend=substrate
+    ) as db:
+        db.create_table("t", {"x": values})
+        db.layer("t", "x")  # instantiate the full view fault-free
+        substrate.schedule = _schedule_for(faults, derive_seed(3, seed))
+
+        queries = 0
+        rows = 0
+        interim: list[AuditReport] = []
+        flush_every = max(num_queries // 4, 1)
+        for i in range(num_queries):
+            width = int(rng.integers((hi_dom - lo_dom) // 100, (hi_dom - lo_dom) // 10))
+            lo = int(rng.integers(lo_dom, hi_dom - width))
+            res = db.query("t", "x", lo, lo + width)
+            queries += 1
+            rows += len(res)
+            if (i + 1) % flush_every == 0:
+                for _ in range(8):
+                    row = int(rng.integers(0, values.size))
+                    val = int(rng.integers(lo_dom, hi_dom))
+                    db.update("t", "x", row, val)
+                db.flush_updates("t", "x")
+                interim.append(auditor.audit_database(db))
+
+        final = auditor.audit_database(db)
+        result = AuditSessionResult(
+            report=final,
+            interim=interim,
+            faults=[fault.describe() for fault in substrate.journal],
+            queries=queries,
+            rows=rows,
+        )
+    return result

@@ -23,6 +23,7 @@ from ..core.adaptive import AdaptiveStorageLayer
 from ..core.stats import QueryStats, SequenceStats
 from ..storage.column import PhysicalColumn
 from ..storage.updates import UpdateBatch, UpdateRecord
+from ..seeds import base_seed
 from ..vm.cost import CostModel
 from ..substrate.simulated import SimulatedSubstrate
 from ..vm.physical import PhysicalMemory
@@ -57,6 +58,17 @@ def scale_factor() -> int:
 def scaled_pages(paper_pages: int = PAPER_COLUMN_PAGES) -> int:
     """Scaled-down page count for a paper-scale column size."""
     return max(int(paper_pages / DEFAULT_DIVISOR * scale_factor()), 64)
+
+
+def session_seed() -> int:
+    """User-requested session seed (``REPRO_SEED``, default 0).
+
+    The companion knob to ``REPRO_SCALE``: read and validated in one
+    place (:func:`repro.seeds.base_seed`), consumed by the workload
+    generators and the fault-schedule fuzz suite, so any stochastic run
+    is reproducible from its environment alone.
+    """
+    return base_seed()
 
 
 def scale_divisor(num_pages: int, paper_pages: int = PAPER_COLUMN_PAGES) -> float:

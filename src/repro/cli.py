@@ -222,6 +222,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="report substrate backend availability and active toggles",
     )
 
+    from .audit.session import FAULT_LEVELS
+    from .substrate import BACKENDS
+
+    audit = subparsers.add_parser(
+        "audit",
+        help=(
+            "run an audited session and verify the structural invariants "
+            "(exit 1 on any violation)"
+        ),
+    )
+    audit.add_argument(
+        "--pages",
+        type=int,
+        default=64,
+        help="column size in pages (default: 64)",
+    )
+    audit.add_argument(
+        "--queries",
+        type=int,
+        default=24,
+        help="queries in the audited session (default: 24)",
+    )
+    audit.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="simulated",
+        help="substrate backend to audit (default: simulated)",
+    )
+    audit.add_argument(
+        "--faults",
+        choices=FAULT_LEVELS,
+        default="none",
+        help="injected fault intensity (default: none)",
+    )
+    audit.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="session seed (default: REPRO_SEED or 0)",
+    )
+
     regress = subparsers.add_parser(
         "regress", help="compare two exported result directories"
     )
@@ -348,6 +389,20 @@ def _run_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_audit(args: argparse.Namespace) -> int:
+    from .audit.session import run_audited_session
+
+    result = run_audited_session(
+        num_pages=args.pages,
+        num_queries=args.queries,
+        backend=args.backend,
+        faults=args.faults,
+        seed=args.seed,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def _run_regress(args: argparse.Namespace) -> int:
     from .bench.regress import compare_suites
 
@@ -365,6 +420,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_export(args)
     if args.command == "regress":
         return _run_regress(args)
+    if args.command == "audit":
+        return _run_audit(args)
     if args.command == "perf":
         return _run_perf(args)
     if args.command == "trace":

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.errors import SubstrateFault
 from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..storage.page import clamp_range
@@ -31,6 +32,7 @@ from .config import AdaptiveConfig
 from .creation import BackgroundMapper, materialize_pages
 from .maintenance import align_partial_views
 from .routing import scan_views
+from .scan import batch_scan
 from .stats import MaintenanceStats, QueryStats, ViewEvent
 from .view import VirtualView
 from .view_index import ViewIndex
@@ -70,6 +72,13 @@ class AdaptiveStorageLayer:
         self._background: BackgroundMapper | None = None
         if self.config.background_mapping:
             self._background = BackgroundMapper(column.cost)
+        # Pages written since the last realignment.  Partial views are
+        # stale until the batch is applied; queries route around the
+        # staleness by additionally scanning any dirty page no selected
+        # view maps (an update may have moved an in-range value onto a
+        # page outside every view's page set).
+        self._dirty_fpages: set[int] = set()
+        self.column.add_pre_write_hook(self._note_write)
         # Serializes queries and maintenance against the shared view
         # index; concurrent callers stay correct (simulated time is
         # unaffected — it accumulates on the cost ledger either way).
@@ -94,6 +103,8 @@ class AdaptiveStorageLayer:
             with obs.span("scan", views=len(views)) as sspan:
                 routed = scan_views(self.column, views, lo, hi, observer=obs)
                 sspan.set(pages=routed.pages_scanned)
+            if self._dirty_fpages:
+                self._scan_stale_pages(views, routed, obs)
 
             event = ViewEvent.NONE
             candidate_pages = 0
@@ -103,17 +114,31 @@ class AdaptiveStorageLayer:
                     lo=routed.extended_lo,
                     hi=routed.extended_hi,
                 ) as cspan:
-                    candidate = VirtualView(self.column, lo, hi)
-                    materialize_pages(
-                        candidate,
-                        routed.qualifying_fpages,
-                        coalesce=self.config.coalesce_mmap,
-                        background=self._background,
-                        observer=obs,
-                    )
-                    candidate.update_range(routed.extended_lo, routed.extended_hi)
-                    candidate_pages = candidate.num_pages
-                    event = self.view_index.consider_candidate(candidate)
+                    candidate = None
+                    try:
+                        candidate = VirtualView(self.column, lo, hi)
+                        materialize_pages(
+                            candidate,
+                            routed.qualifying_fpages,
+                            coalesce=self.config.coalesce_mmap,
+                            background=self._background,
+                            observer=obs,
+                        )
+                        candidate.update_range(
+                            routed.extended_lo, routed.extended_hi
+                        )
+                        candidate_pages = candidate.num_pages
+                        event = self.view_index.consider_candidate(candidate)
+                    except SubstrateFault:
+                        # The query result is already computed from the
+                        # existing views; only the side-product candidate
+                        # is lost.  Roll it back and carry on.
+                        if candidate is not None:
+                            candidate.destroy()
+                        candidate_pages = 0
+                        event = self.view_index.record_fault(
+                            routed.extended_lo, routed.extended_hi
+                        )
                     cspan.set(pages=candidate_pages, event=event.value)
             qspan.set(
                 pages_scanned=routed.pages_scanned,
@@ -135,6 +160,38 @@ class AdaptiveStorageLayer:
         obs.on_query(stats)
         return QueryResult(rowids=routed.rowids, values=routed.values, stats=stats)
 
+    def _note_write(self, row: int, fpage: int) -> None:
+        """Pre-write hook: remember which pages the pending batch touched."""
+        self._dirty_fpages.add(fpage)
+
+    def _scan_stale_pages(self, views, routed, obs) -> None:
+        """Scan dirty pages no selected view maps, merging the rows in.
+
+        Between a write and the next realignment the partial views are
+        stale; a value moved *into* the query range lives on a page the
+        routed views may not map.  Scanning those pages (values moved
+        out of range are harmless — every scan re-filters) keeps query
+        results exact while the views lag the data.
+        """
+        scanned: set[int] = set()
+        for view in views:
+            scanned.update(view.mapped_fpages().tolist())
+        stale = np.array(
+            sorted(self._dirty_fpages - scanned), dtype=np.int64
+        )
+        if stale.size == 0:
+            return
+        with obs.span("scan-stale", pages=int(stale.size)):
+            result = batch_scan(
+                self.column, stale, routed.lo, routed.hi, access_kind="seq"
+            )
+        routed.rowids = np.concatenate([routed.rowids, result.rowids])
+        routed.values = np.concatenate([routed.values, result.values])
+        routed.qualifying_fpages = np.concatenate(
+            [routed.qualifying_fpages, result.qualifying_fpages]
+        )
+        routed.pages_scanned += result.pages_scanned
+
     # -- update handling (Sections 2.4 / 2.5) ------------------------------
 
     def apply_updates(self, batch: UpdateBatch) -> MaintenanceStats:
@@ -146,12 +203,16 @@ class AdaptiveStorageLayer:
         partial view against the batch.
         """
         with self._lock:
-            return align_partial_views(
+            stats = align_partial_views(
                 self.column,
                 self.view_index.partial_views,
                 batch,
                 observer=self.observer,
             )
+            for view in stats.dropped_views:
+                self.view_index.discard(view)
+            self._dirty_fpages.clear()
+            return stats
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -160,6 +221,10 @@ class AdaptiveStorageLayer:
         if self._background is not None:
             self._background.stop()
             self._background = None
+        try:
+            self.column.remove_pre_write_hook(self._note_write)
+        except ValueError:
+            pass  # already removed by an earlier shutdown
 
     def __enter__(self) -> "AdaptiveStorageLayer":
         return self

@@ -20,6 +20,7 @@ from dataclasses import asdict
 
 import numpy as np
 
+from ..faults.errors import SubstrateFault
 from .config import AdaptiveConfig, RoutingMode
 from .creation import materialize_pages
 from .facade import AdaptiveDatabase
@@ -65,15 +66,22 @@ def save_database(db: AdaptiveDatabase, path: str) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_database(path: str) -> AdaptiveDatabase:
-    """Reload a checkpoint: recreate tables and rebuild the views warm."""
+def load_database(
+    path: str, backend: str | object = "simulated"
+) -> AdaptiveDatabase:
+    """Reload a checkpoint: recreate tables and rebuild the views warm.
+
+    ``backend`` selects the substrate the restored database runs on —
+    a backend name or a pre-built substrate (e.g. a
+    :class:`~repro.faults.FaultySubstrate` for recovery testing).
+    """
     with np.load(path) as archive:
         manifest = json.loads(bytes(archive[_MANIFEST_KEY].tobytes()).decode("utf-8"))
         if manifest.get("version") != CHECKPOINT_VERSION:
             raise ValueError(
                 f"unsupported checkpoint version: {manifest.get('version')}"
             )
-        db = AdaptiveDatabase(_config_from_dict(manifest["config"]))
+        db = AdaptiveDatabase(_config_from_dict(manifest["config"]), backend=backend)
         for table_name, table_meta in manifest["tables"].items():
             data = {
                 column_name: archive[column_meta["array"]]
@@ -92,15 +100,25 @@ def load_database(path: str) -> AdaptiveDatabase:
 
 
 def _rebuild_views(layer, ranges: list[list[int]]) -> None:
-    """Recreate partial views for the checkpointed value ranges."""
+    """Recreate partial views for the checkpointed value ranges.
+
+    A substrate fault while rebuilding one view rolls that view back
+    and skips it — the restored database stays consistent (the full
+    view answers its range) and simply re-learns the view later.
+    """
     column = layer.column
     index = layer.view_index
     for lo, hi in ranges:
         routed = scan_views(column, [index.full_view], lo, hi)
         view = VirtualView(column, lo, hi)
-        materialize_pages(
-            view, routed.qualifying_fpages, coalesce=layer.config.coalesce_mmap
-        )
+        try:
+            materialize_pages(
+                view, routed.qualifying_fpages, coalesce=layer.config.coalesce_mmap
+            )
+        except SubstrateFault:
+            view.destroy()
+            index.record_fault(lo, hi)
+            continue
         index.insert(view)
 
 

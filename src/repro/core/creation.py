@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import fastpath
+from ..faults.errors import SubstrateFault
 from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..vm.cost import MAIN_LANE, MAPPER_LANE, CostModel
@@ -66,16 +67,20 @@ class BackgroundMapper:
 
     def submit(self, view: VirtualView, request: MapRequest) -> None:
         """Enqueue one map request (charges a queue push on the caller)."""
-        if self._failure is not None:
-            raise RuntimeError("mapping thread died") from self._failure
         self._cost.queue_op(1, MAIN_LANE)
         self._queue.put((view, request))
 
     def flush(self) -> None:
-        """Wait until all submitted requests have been mapped."""
+        """Wait until all submitted requests have been mapped.
+
+        Re-raises the first exception the mapping thread hit while
+        draining this flush's requests, then clears it — the thread
+        stays alive and the mapper is reusable for the next view.
+        """
         self._queue.join()
-        if self._failure is not None:
-            raise RuntimeError("mapping thread died") from self._failure
+        failure, self._failure = self._failure, None
+        if failure is not None:
+            raise failure
 
     def stop(self) -> None:
         """Terminate the mapping thread (idempotent)."""
@@ -92,8 +97,9 @@ class BackgroundMapper:
                 view, request = item
                 self._cost.queue_op(1, MAPPER_LANE)
                 view.execute_request(request, lane=MAPPER_LANE)
-            except BaseException as exc:  # surface errors to the submitter
-                self._failure = exc
+            except BaseException as exc:  # surface errors to the flusher
+                if self._failure is None:
+                    self._failure = exc
             finally:
                 self._queue.task_done()
 
@@ -182,12 +188,19 @@ def create_partial_view(
     with cost.region() as region:
         routed = scan_views(column, source_views, lo, hi)
         view = VirtualView(column, lo, hi)
-        calls = materialize_pages(
-            view,
-            routed.qualifying_fpages,
-            coalesce=coalesce,
-            background=background,
-        )
+        try:
+            calls = materialize_pages(
+                view,
+                routed.qualifying_fpages,
+                coalesce=coalesce,
+                background=background,
+            )
+        except SubstrateFault:
+            # Atomic rewire: a fault mid-creation unmaps and releases the
+            # half-built view before surfacing, so the caller never sees
+            # a partially materialized catalog entry.
+            view.destroy()
+            raise
         view.update_range(routed.extended_lo, routed.extended_hi)
     return CreationReport(
         view=view,

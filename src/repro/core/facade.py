@@ -156,6 +156,20 @@ class AdaptiveDatabase:
         batch = table.drain_updates(column_name)
         return self.layer(table_name, column_name).apply_updates(batch)
 
+    # -- auditing -----------------------------------------------------------
+
+    def audit(self, max_content_pages: int | None = None):
+        """Run the invariant auditor over every instantiated layer.
+
+        Cross-checks view catalogs, VMAs/page tables, the bimap maps
+        snapshot, and physical column contents.  Free of cost-model
+        charges, so it can run after any operation.  Returns an
+        :class:`~repro.audit.AuditReport`.
+        """
+        from ..audit.invariants import InvariantAuditor
+
+        return InvariantAuditor(max_content_pages).audit_database(self)
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import bisect
 
+from ..faults.errors import SubstrateFault, TornSnapshotError
+from ..faults.plane import suppress_faults
 from ..obs.observer import NULL_OBSERVER, NullObserver
 from ..storage.column import PhysicalColumn
 from ..storage.updates import UpdateBatch
@@ -34,6 +36,7 @@ from ..storage.updates import UpdateBatch
 # substrate, the single place that renders maps paths.
 from ..substrate.simulated import SHM_PREFIX  # noqa: F401
 from ..vm.cost import MAIN_LANE
+from ..vm.errors import VmError
 from ..vm.procmaps import MappingSnapshot
 from .creation import materialize_pages
 from .routing import scan_views
@@ -62,6 +65,54 @@ def _is_indexed(
     return snapshot.any_virtual_in_range((path, fpage), lo_vpn, hi_vpn)
 
 
+def _align_one_view(
+    column: PhysicalColumn,
+    view: VirtualView,
+    snapshot: MappingSnapshot,
+    path: str,
+    page_groups: list,
+    stats: MaintenanceStats,
+    lane: str,
+) -> None:
+    """Apply the case analysis of Section 2.4 to one partial view."""
+    cost = column.cost
+    a, b = view.lo, view.hi
+    for fpage, updates, sorted_news, sorted_olds in page_groups:
+        # Inspecting the update group: one pass over its records
+        # plus the bimap round trip answering "is this physical
+        # page indexed by this view?".
+        cost.update_check(len(updates), lane)
+        indexed = _is_indexed(snapshot, view, path, fpage)
+        cost.bimap_op(2, lane)
+        # Cross-check the snapshot against the catalog: a stale or
+        # torn snapshot would make the case analysis below unsound
+        # for this view, so it is dropped instead of misaligned.
+        if indexed != view.contains_page(fpage):
+            raise TornSnapshotError("maps_snapshot", fpage)
+        any_new_in = _any_in_range(sorted_news, a, b)
+
+        if not indexed:
+            if any_new_in:
+                view.add_page(fpage, lane=lane)
+                snapshot.map(view.vpn_of(fpage), (path, fpage), lane)
+                stats.pages_added += 1
+            continue
+
+        if any_new_in:
+            continue  # still holds an in-range value, stays indexed
+        any_old_in = _any_in_range(sorted_olds, a, b)
+        if not any_old_in:
+            continue  # updates never touched this view's range
+        # An in-range value may have been overwritten: only a full
+        # page scan can prove the page no longer qualifies.
+        result = column.scan_page(fpage, a, b, access_kind="random", lane=lane)
+        if result.empty:
+            vpn = view.vpn_of(fpage)
+            view.remove_page(fpage, lane=lane)
+            snapshot.unmap(vpn, lane)
+            stats.pages_removed += 1
+
+
 def align_partial_views(
     column: PhysicalColumn,
     views: list[VirtualView],
@@ -87,14 +138,30 @@ def align_partial_views(
 
         # Step 2: parse the memory mappings once for the whole batch —
         # from whichever maps source the backend provides (the simulated
-        # renderer or the kernel's real /proc/self/maps).
+        # renderer or the kernel's real /proc/self/maps).  Without a
+        # snapshot no view can be aligned safely, so a parse failure
+        # degrades by dropping every partial view: the full view keeps
+        # all queries correct, just slower, until views regrow.
         path = column.substrate.file_map_path(column.file)
-        with cost.region() as parse_region, obs.span("maps-parse"):
-            snapshot = column.substrate.maps_snapshot(
-                cost=cost,
-                lane=lane,
-                file_filter=path,
-            )
+        try:
+            with cost.region() as parse_region, obs.span("maps-parse"):
+                snapshot = column.substrate.maps_snapshot(
+                    cost=cost,
+                    lane=lane,
+                    file_filter=path,
+                )
+        except (SubstrateFault, VmError):
+            stats.faults += 1
+            with suppress_faults(column.substrate):
+                for view in views:
+                    if view.is_full_view:
+                        continue
+                    view.destroy()
+                    stats.views_dropped += 1
+                    stats.dropped_views.append(view)
+            span.set(faults=stats.faults, views_dropped=stats.views_dropped)
+            obs.on_maintenance(stats)
+            return stats
         stats.parse_ns = parse_region.lane_ns(lane)
         stats.maps_lines = parse_region.counter_deltas.get("maps_lines_parsed", 0)
         obs.on_maps_parse(stats.maps_lines)
@@ -118,44 +185,28 @@ def align_partial_views(
             for view in views:
                 if view.is_full_view:
                     continue
-                a, b = view.lo, view.hi
-                for fpage, updates, sorted_news, sorted_olds in page_groups:
-                    # Inspecting the update group: one pass over its records
-                    # plus the bimap round trip answering "is this physical
-                    # page indexed by this view?".
-                    cost.update_check(len(updates), lane)
-                    indexed = _is_indexed(snapshot, view, path, fpage)
-                    cost.bimap_op(2, lane)
-                    any_new_in = _any_in_range(sorted_news, a, b)
-
-                    if not indexed:
-                        if any_new_in:
-                            view.add_page(fpage, lane=lane)
-                            snapshot.map(view.vpn_of(fpage), (path, fpage), lane)
-                            stats.pages_added += 1
-                        continue
-
-                    if any_new_in:
-                        continue  # still holds an in-range value, stays indexed
-                    any_old_in = _any_in_range(sorted_olds, a, b)
-                    if not any_old_in:
-                        continue  # updates never touched this view's range
-                    # An in-range value may have been overwritten: only a full
-                    # page scan can prove the page no longer qualifies.
-                    result = column.scan_page(
-                        fpage, a, b, access_kind="random", lane=lane
+                try:
+                    _align_one_view(
+                        column, view, snapshot, path, page_groups, stats, lane
                     )
-                    if result.empty:
-                        vpn = view.vpn_of(fpage)
-                        view.remove_page(fpage, lane=lane)
-                        snapshot.unmap(vpn, lane)
-                        stats.pages_removed += 1
+                except (SubstrateFault, VmError):
+                    # A fault mid-alignment leaves this view's page set
+                    # unverifiable; drop it rather than serve stale
+                    # pages.  Queries fall back to the full view (or the
+                    # next-best partial) and stay correct.
+                    stats.faults += 1
+                    with suppress_faults(column.substrate):
+                        view.destroy()
+                    stats.views_dropped += 1
+                    stats.dropped_views.append(view)
         stats.update_ns = update_region.lane_ns(lane)
         span.set(
             maps_lines=stats.maps_lines,
             pages_added=stats.pages_added,
             pages_removed=stats.pages_removed,
         )
+        if stats.faults:
+            span.set(faults=stats.faults, views_dropped=stats.views_dropped)
     obs.on_maintenance(stats)
     return stats
 

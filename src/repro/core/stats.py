@@ -36,6 +36,10 @@ class ViewEvent(Enum):
     #: Inserted after evicting the least-recently-used view (extension).
     EVICTED_LRU = "evicted_lru"
 
+    #: A substrate fault aborted the candidate's materialization; the
+    #: half-built view was rolled back and the query served from scans.
+    FAULTED = "faulted"
+
 
 @dataclass(frozen=True)
 class ViewLifecycleEvent:
@@ -130,6 +134,13 @@ class MaintenanceStats:
     pages_added: int = 0
     #: Pages removed from partial views.
     pages_removed: int = 0
+    #: Substrate faults absorbed during this alignment.
+    faults: int = 0
+    #: Partial views dropped because a fault left them unverifiable.
+    views_dropped: int = 0
+    #: The dropped views themselves (for the caller to discard from
+    #: its view index).
+    dropped_views: list = field(default_factory=list)
 
     @property
     def total_ns(self) -> float:
@@ -138,12 +149,15 @@ class MaintenanceStats:
 
     def describe(self) -> str:
         """One human-readable line (mirrors ViewLifecycleEvent.describe)."""
-        return (
+        line = (
             f"batch {self.batch_size}→{self.compacted_size}: "
             f"parse {self.parse_ns / 1e6:.3f} ms ({self.maps_lines} maps lines), "
             f"update {self.update_ns / 1e6:.3f} ms, "
             f"+{self.pages_added}p/-{self.pages_removed}p"
         )
+        if self.faults:
+            line += f", {self.faults} fault(s)/{self.views_dropped} dropped"
+        return line
 
     def __str__(self) -> str:
         return self.describe()

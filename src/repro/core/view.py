@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.plane import suppress_faults
 from ..storage.column import PhysicalColumn
 from ..vm.constants import MAX_VALUE, MIN_VALUE
 from ..vm.cost import MAIN_LANE
@@ -300,14 +301,30 @@ class VirtualView:
         self.column.file.check_page(fpage)
         if self.contains_page(fpage):
             raise ValueError(f"page {fpage} already indexed by this view")
+        from_free = bool(self._free_slots)
         slot = self._take_slot()
+        # Atomic-rewire semantics: issue the mmap before touching the
+        # bookkeeping, so a failed call leaves the catalog consistent
+        # (the reserved slot is handed back on the way out).
+        try:
+            self.substrate.map_fixed(
+                self.base_vpn + slot,
+                1,
+                self.column.file,
+                fpage,
+                populate=True,
+                lane=lane,
+            )
+        except BaseException:
+            if from_free:
+                self._free_slots.append(slot)
+            else:
+                self._next_fresh -= 1
+            raise
         self._fpage_at[slot] = fpage
         self._slot_by_fpage[fpage] = slot
         self._num_mapped += 1
         self._mapped_cache = None
-        self.substrate.map_fixed(
-            self.base_vpn + slot, 1, self.column.file, fpage, populate=True, lane=lane
-        )
         self._touched[slot] = True
 
     def remove_page(self, fpage: int, lane: str = MAIN_LANE) -> None:
@@ -321,22 +338,28 @@ class VirtualView:
         if not self.contains_page(fpage):
             raise ValueError(f"page {fpage} is not indexed by this view")
         slot = int(self._slot_by_fpage[fpage])
+        # Unmap first: if the call fails, the page simply stays indexed
+        # (a removal that did not happen, not a torn catalog).
+        self.substrate.unmap_slot(self.base_vpn + slot, 1, lane=lane)
         self._slot_by_fpage[fpage] = -1
         self._fpage_at[slot] = -1
         self._touched[slot] = False
         self._num_mapped -= 1
         self._free_slots.append(slot)
         self._mapped_cache = None
-        self.substrate.unmap_slot(self.base_vpn + slot, 1, lane=lane)
 
     def destroy(self, lane: str = MAIN_LANE) -> None:
         """Tear the view down (discarded candidate / dropped view)."""
         if not self._alive:
             return
         removed_pages = self.num_pages
-        self.substrate.release_region(
-            self.base_vpn, self.capacity, removed_pages, lane=lane
-        )
+        # Tear-down must always succeed: it is the rollback path the
+        # hardened creation/maintenance code relies on, so injected
+        # faults are suppressed for the release call.
+        with suppress_faults(self.substrate):
+            self.substrate.release_region(
+                self.base_vpn, self.capacity, removed_pages, lane=lane
+            )
         self._fpage_at[:] = -1
         self._slot_by_fpage[:] = -1
         self._num_mapped = 0

@@ -300,6 +300,36 @@ class ViewIndex:
         self.observer.on_view_event(record)
         return event
 
+    def record_fault(self, lo: int, hi: int) -> ViewEvent:
+        """Journal a candidate lost to a substrate fault.
+
+        The half-built candidate was already rolled back by the caller;
+        this records the failed creation attempt over ``[lo, hi]`` so
+        the lifecycle journal explains the missing view.
+        """
+        record = ViewLifecycleEvent(
+            sequence=len(self.history) + 1,
+            event=ViewEvent.FAULTED,
+            lo=lo,
+            hi=hi,
+            candidate_pages=0,
+        )
+        self.history.append(record)
+        self.observer.on_view_event(record)
+        return ViewEvent.FAULTED
+
+    def discard(self, view: VirtualView) -> None:
+        """Forget an already-destroyed partial view (fault fallout).
+
+        Unlike :meth:`drop`, the view's region is *not* released here —
+        maintenance already tore it down under fault suppression; the
+        index merely stops advertising it to the router.
+        """
+        if view in self._partials:
+            self._partials.remove(view)
+            self._last_used.pop(id(view), None)
+            self._sorted_dirty = True
+
     def insert(self, view: VirtualView) -> None:
         """Add a partial view to the index."""
         if view.is_full_view:

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the memory substrate.
+
+The plane wraps any :class:`~repro.substrate.interface.Substrate` in a
+:class:`FaultySubstrate` driven by a seeded, programmable
+:class:`FaultSchedule`; injected failures surface to the layers as
+typed :class:`SubstrateFault` errors, and the hardened core paths roll
+back to a consistent view catalog.  See ``docs/robustness.md``.
+"""
+
+from .errors import SubstrateFault, TornSnapshotError
+from .plane import (
+    FaultyPageStore,
+    FaultySubstrate,
+    suppress_faults,
+    unwrap_store,
+)
+from .schedule import (
+    DEFAULT_KINDS,
+    FaultKind,
+    FaultRule,
+    FaultSchedule,
+    InjectedFault,
+    default_kind,
+)
+
+__all__ = [
+    "DEFAULT_KINDS",
+    "FaultKind",
+    "FaultRule",
+    "FaultSchedule",
+    "FaultyPageStore",
+    "FaultySubstrate",
+    "InjectedFault",
+    "SubstrateFault",
+    "TornSnapshotError",
+    "default_kind",
+    "suppress_faults",
+    "unwrap_store",
+]

@@ -32,6 +32,9 @@ TOPIC_MMAP = "vm.mmap"
 #: Topic of /proc/PID/maps parses.
 TOPIC_MAPS_PARSE = "vm.maps_parse"
 
+#: Topic of injected (or real) substrate faults.
+TOPIC_FAULT = "substrate.fault"
+
 #: Subscription wildcard: receive every topic.
 ALL_TOPICS = "*"
 

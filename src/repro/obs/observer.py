@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, ContextManager
 
 from ..vm.cost import MAIN_LANE, CostLedger
 from .events import (
+    TOPIC_FAULT,
     TOPIC_FLUSH,
     TOPIC_MAPS_PARSE,
     TOPIC_MMAP,
@@ -88,6 +89,9 @@ class NullObserver:
 
     def on_maps_parse(self, lines: int) -> None:
         """Hook: /proc/PID/maps was parsed."""
+
+    def on_fault(self, op: str, kind: str) -> None:
+        """Hook: a substrate fault fired (injected or real)."""
 
     def on_statement(self, kind: str) -> None:
         """Hook: one SQL statement executed."""
@@ -163,6 +167,9 @@ class Observer(NullObserver):
         self._statements = m.counter(
             "sql_statements_total", "SQL statements executed, by kind"
         )
+        self._faults = m.counter(
+            "substrate_faults_total", "Substrate faults by operation and kind"
+        )
 
     def span(self, name: str, **attrs: object) -> ContextManager[Span]:
         """Open a trace span (see :meth:`repro.obs.span.Tracer.span`)."""
@@ -229,6 +236,10 @@ class Observer(NullObserver):
         self._maps_lines.set(lines)
         self._maps_lines_parsed.inc(lines)
         self.events.publish(TOPIC_MAPS_PARSE, lines=lines)
+
+    def on_fault(self, op: str, kind: str) -> None:
+        self._faults.inc(op=op, kind=kind)
+        self.events.publish(TOPIC_FAULT, op=op, kind=kind)
 
     # -- SQL hooks ------------------------------------------------------
 

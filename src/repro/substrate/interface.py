@@ -264,6 +264,19 @@ class Substrate(ABC):
         says it is.
         """
 
+    def peek_virtual(self, vpn: int) -> np.ndarray:
+        """Diagnostic read of virtual page ``vpn`` — never cost-charged.
+
+        Same translation semantics as :meth:`read_virtual` (unmapped or
+        anonymous pages read as zeros), but without charging the
+        simulated cost model or mutating fault state: the read the
+        invariant auditor uses to cross-check mappings against physical
+        contents without perturbing the measured session.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement peek_virtual"
+        )
+
     # -- the maps source --------------------------------------------------
 
     @abstractmethod

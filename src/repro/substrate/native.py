@@ -432,6 +432,12 @@ class NativeSubstrate(Substrate):
             raw = ctypes.string_at(vpn * PAGE_SIZE, PAGE_SIZE)
         return np.frombuffer(raw, dtype=np.int64)[1 : 1 + slots].copy()
 
+    def peek_virtual(self, vpn: int) -> np.ndarray:
+        # The native read path charges no simulated cost to begin with
+        # (the MMU does the translation); the wall-clock charge is
+        # harmless for diagnostics.
+        return self.read_virtual(vpn)
+
     def _entry_for(self, vpn: int) -> MapsEntry | None:
         for entry in parse_maps(self.maps_text()):
             if entry.start_vpn <= vpn < entry.end_vpn:

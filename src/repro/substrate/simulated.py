@@ -12,8 +12,11 @@ and parity tests are the guardrail for that invariant.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..vm.constants import VALUES_PER_PAGE
 from ..vm.cost import MAIN_LANE, CostModel
+from ..vm.errors import BadAddressError
 from ..vm.mmap_api import MemoryMapper
 from ..vm.physical import MemoryFile, PhysicalMemory
 from ..vm.procmaps import (
@@ -141,6 +144,18 @@ class SimulatedSubstrate(Substrate):
 
     def read_virtual(self, vpn: int, lane: str = MAIN_LANE):
         return self.mapper.read_page_values(vpn, lane)
+
+    def peek_virtual(self, vpn: int):
+        # Uncharged diagnostic read: translate without fault accounting,
+        # then copy the physical page bytes directly.
+        try:
+            backing = self.mapper.translate(vpn)
+        except BadAddressError:
+            backing = None
+        if backing is None:
+            return np.zeros(VALUES_PER_PAGE, dtype=np.int64)
+        file, fpage = backing
+        return file.page_values(fpage).copy()
 
     # -- the maps source --------------------------------------------------
 

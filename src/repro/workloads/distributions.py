@@ -22,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..seeds import resolve_seed
 from ..vm.constants import VALUES_PER_PAGE
 
 #: Default value domain used by most experiments: [0, 100M].
@@ -45,11 +46,11 @@ def uniform(
     num_pages: int,
     lo: int = DEFAULT_DOMAIN[0],
     hi: int = DEFAULT_DOMAIN[1],
-    seed: int = 0,
+    seed: int | None = None,
 ) -> np.ndarray:
     """I.i.d. uniform integers in ``[lo, hi]``."""
     _check_domain(lo, hi)
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     return rng.integers(lo, hi, endpoint=True, size=num_pages * VALUES_PER_PAGE)
 
 
@@ -76,13 +77,13 @@ def sine(
     hi: int = DEFAULT_DOMAIN[1],
     period_pages: int = SINE_PERIOD_PAGES,
     jitter_fraction: float = 0.005,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> np.ndarray:
     """Sine-wave clustered values cycling every ``period_pages`` pages."""
     _check_domain(lo, hi)
     if period_pages <= 0:
         raise ValueError("period must be positive")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     pages = np.arange(num_pages)
     phase = 2.0 * np.pi * pages / period_pages
     levels = (lo + (hi - lo) * 0.5 * (1.0 + np.sin(phase))).astype(np.int64)
@@ -94,11 +95,11 @@ def linear(
     lo: int = DEFAULT_DOMAIN[0],
     hi: int = DEFAULT_DOMAIN[1],
     jitter_fraction: float = 0.005,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> np.ndarray:
     """Linearly growing per-page value levels (nearly sorted data)."""
     _check_domain(lo, hi)
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     pages = np.arange(num_pages)
     span = max(num_pages - 1, 1)
     levels = (lo + (hi - lo) * pages / span).astype(np.int64)
@@ -110,7 +111,7 @@ def sparse(
     lo: int = DEFAULT_DOMAIN[0],
     hi: int = DEFAULT_DOMAIN[1],
     zero_fraction: float = SPARSE_ZERO_FRACTION,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> np.ndarray:
     """Mostly-zero pages with periodic bursts of uniform values.
 
@@ -121,7 +122,7 @@ def sparse(
     _check_domain(lo, hi)
     if not 0.0 < zero_fraction < 1.0:
         raise ValueError("zero_fraction must lie strictly between 0 and 1")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     values = np.zeros((num_pages, VALUES_PER_PAGE), dtype=np.int64)
     stride = max(int(round(1.0 / (1.0 - zero_fraction))), 1)
     data_pages = np.arange(0, num_pages, stride)
@@ -136,7 +137,7 @@ def zipf(
     lo: int = DEFAULT_DOMAIN[0],
     hi: int = DEFAULT_DOMAIN[1],
     alpha: float = 1.3,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> np.ndarray:
     """Zipf-skewed values (extension): most values crowd near ``lo``.
 
@@ -147,7 +148,7 @@ def zipf(
     _check_domain(lo, hi)
     if alpha <= 1.0:
         raise ValueError("alpha must exceed 1")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     ranks = rng.zipf(alpha, size=num_pages * VALUES_PER_PAGE).astype(np.float64)
     # map ranks (1, 2, 3, ...) logarithmically into the value domain
     scaled = np.log(ranks) / np.log(ranks.max() + 1.0)

@@ -16,6 +16,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..seeds import resolve_seed
 from .distributions import DEFAULT_DOMAIN
 
 
@@ -57,7 +58,7 @@ def selectivity_sweep(
     width_start: int = 50_000_000,
     width_end: int = 5_000,
     domain: tuple[int, int] = DEFAULT_DOMAIN,
-    seed: int = 0,
+    seed: int | None = None,
     shuffle: bool = True,
 ) -> QuerySequence:
     """Figure 4's query sequence.
@@ -74,7 +75,7 @@ def selectivity_sweep(
     lo_dom, hi_dom = domain
     if width_start > hi_dom - lo_dom:
         raise ValueError("start width exceeds the value domain")
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     widths = np.geomspace(width_start, width_end, num_queries).astype(np.int64)
     lows = np.array(
         [rng.integers(lo_dom, hi_dom - int(w), endpoint=True) for w in widths],
@@ -93,7 +94,7 @@ def fixed_selectivity(
     selectivity: float,
     num_queries: int = 250,
     domain: tuple[int, int] = DEFAULT_DOMAIN,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> QuerySequence:
     """Figure 5's query sequence: constant selectivity, random position.
 
@@ -106,7 +107,7 @@ def fixed_selectivity(
         raise ValueError("need at least one query")
     lo_dom, hi_dom = domain
     width = max(int((hi_dom - lo_dom) * selectivity), 1)
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     queries = []
     for _ in range(num_queries):
         lo = int(rng.integers(lo_dom, hi_dom - width, endpoint=True))
@@ -120,7 +121,7 @@ def shifting_hotspot(
     num_phases: int = 5,
     hotspot_fraction: float = 0.2,
     domain: tuple[int, int] = DEFAULT_DOMAIN,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> QuerySequence:
     """A drifting workload (extension): fixed-selectivity queries whose
     positions concentrate in a hotspot window that moves across the
@@ -141,7 +142,7 @@ def shifting_hotspot(
     span = hi_dom - lo_dom
     width = max(int(span * selectivity), 1)
     hotspot_width = max(int(span * hotspot_fraction), width)
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     queries = []
     per_phase = (num_queries + num_phases - 1) // num_phases
     for phase in range(num_phases):
@@ -162,11 +163,11 @@ def shifting_hotspot(
 def point_queries(
     num_queries: int,
     domain: tuple[int, int] = DEFAULT_DOMAIN,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> QuerySequence:
     """Degenerate single-value ranges (edge-case workload for tests)."""
     lo_dom, hi_dom = domain
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed))
     return QuerySequence(
         [
             RangeQuery(v, v)

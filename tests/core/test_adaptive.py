@@ -67,6 +67,26 @@ class TestQueryCorrectness:
             result = layer.answer_query(3000, 5000)
             assert np.array_equal(np.sort(result.rowids), expected)
 
+    def test_query_between_write_and_flush_sees_the_write(self):
+        """An unflushed write that moves a value *into* a view's range
+        must still be found: the value may land on a page the stale
+        view does not map, so the layer rescans dirty pages no routed
+        view covers (regression found by the stateful model test)."""
+        col = clustered_column()
+        layer = AdaptiveStorageLayer(
+            col, AdaptiveConfig(mode=RoutingMode.SINGLE)
+        )
+        layer.answer_query(3000, 5000)  # retains a partial view
+        assert layer.view_index.num_partials == 1
+        # Move a far-away row's value into the view's range; its page is
+        # outside the view's page set and the batch is not yet flushed.
+        row = col.num_rows - 1
+        col.write(row, 4000)
+        result = layer.answer_query(3000, 5000)
+        expected = reference_rows(col.values(), 3000, 5000)
+        assert row in result.rowids
+        assert np.array_equal(np.sort(result.rowids), expected)
+
 
 class TestAdaptivity:
     def test_view_created_for_selective_query(self):

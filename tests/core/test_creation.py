@@ -11,6 +11,7 @@ from repro.core.creation import (
 )
 from repro.core.view import VirtualView
 from repro.vm.cost import MAIN_LANE, MAPPER_LANE
+from repro.vm.errors import MapError
 
 from ..conftest import uniform_column
 
@@ -125,8 +126,13 @@ class TestBackgroundMapper:
                 vpn_start=request.vpn_start, fpage_start=99, npages=1
             )
             bg.submit(view, bad)
-            with pytest.raises(RuntimeError):
+            with pytest.raises(MapError):
                 bg.flush()
+            # the failure is cleared on flush: the thread stays alive
+            # and the mapper remains usable for the next view
+            bg.submit(view, view.plan_run([3]))
+            bg.flush()
+            assert view.contains_page(3)
         finally:
             bg.stop()
 

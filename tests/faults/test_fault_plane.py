@@ -1,0 +1,230 @@
+"""Unit tests for the fault-injection plane and its schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.faults import (
+    FaultKind,
+    FaultRule,
+    FaultSchedule,
+    FaultySubstrate,
+    SubstrateFault,
+    default_kind,
+    suppress_faults,
+)
+from repro.substrate import make_substrate
+
+
+def _values(num_pages: int = 8, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1_000_000, size=num_pages * 512, dtype=np.int64)
+
+
+class TestFaultSchedule:
+    def test_nth_call_fires_exactly_once(self):
+        schedule = FaultSchedule.nth_call("reserve", 3)
+        fired = [schedule.check("reserve") for _ in range(6)]
+        assert [f is not None for f in fired] == [
+            False, False, True, False, False, False,
+        ]
+        fault = fired[2]
+        assert fault.op == "reserve"
+        assert fault.kind is FaultKind.ENOMEM
+        assert fault.call_index == 3
+
+    def test_deterministic_replay(self):
+        def run():
+            schedule = FaultSchedule.probabilistic(
+                ("reserve", "map_fixed"), probability=0.3, seed=17
+            )
+            ops = ["reserve", "map_fixed", "reserve", "map_fixed"] * 25
+            return [
+                (fault.op, fault.call_index, fault.kind)
+                for op in ops
+                if (fault := schedule.check(op)) is not None
+            ]
+
+        first, second = run(), run()
+        assert first == second
+        assert first  # p=0.3 over 100 calls certainly fires
+
+    def test_rule_streams_are_independent(self):
+        """Appending a rule never shifts an existing rule's stream."""
+        ops = ["map_fixed"] * 60
+
+        def fires_of_first_rule(rules):
+            schedule = FaultSchedule(rules, seed=5)
+            hits = []
+            for i, op in enumerate(ops):
+                fault = schedule.check(op)
+                if fault is not None and fault.rule == 0:
+                    hits.append(i)
+            return hits
+
+        alone = fires_of_first_rule(
+            [FaultRule(ops="map_fixed", probability=0.2)]
+        )
+        with_extra = fires_of_first_rule(
+            [
+                FaultRule(ops="map_fixed", probability=0.2),
+                FaultRule(ops="map_fixed", probability=0.9),
+            ]
+        )
+        # Per-rule generators are derived from (seed, rule index), so
+        # the first rule draws the identical stream either way.
+        assert alone == with_extra
+        assert alone
+
+    def test_after_skips_initial_calls(self):
+        schedule = FaultSchedule(
+            [FaultRule(ops="reserve", probability=1.0, after=4)]
+        )
+        fired = [schedule.check("reserve") is not None for _ in range(6)]
+        assert fired == [False, False, False, False, True, True]
+
+    def test_max_fires_caps_probability_rule(self):
+        schedule = FaultSchedule(
+            [FaultRule(ops="reserve", probability=1.0, max_fires=2)]
+        )
+        fired = [schedule.check("reserve") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule(ops="reserve")  # neither nth nor probability
+        with pytest.raises(ValueError):
+            FaultRule(ops="reserve", nth=2, probability=0.5)  # both
+        with pytest.raises(ValueError):
+            FaultRule(ops="reserve", nth=0)
+        with pytest.raises(ValueError):
+            FaultRule(ops="reserve", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(ops=(), nth=1)
+
+    def test_default_kinds(self):
+        assert default_kind("reserve") is FaultKind.ENOMEM
+        assert default_kind("map_fixed") is FaultKind.MAP_FIXED_FAIL
+        assert default_kind("unmap_slot") is FaultKind.UNMAP_FAIL
+        assert default_kind("resize") is FaultKind.CAPACITY
+        assert default_kind("maps_snapshot") is FaultKind.MAPS_ERROR
+
+
+class TestFaultySubstrate:
+    def test_injects_typed_fault(self):
+        substrate = FaultySubstrate(
+            make_substrate("simulated"),
+            schedule=FaultSchedule.nth_call("reserve", 1),
+        )
+        with pytest.raises(SubstrateFault) as excinfo:
+            substrate.reserve(4)
+        assert excinfo.value.op == "reserve"
+        assert excinfo.value.kind == "enomem"
+        assert len(substrate.journal) == 1
+
+    def test_fault_fires_before_the_operation(self):
+        """An injected fault leaves the inner backend untouched."""
+        inner = make_substrate("simulated")
+        substrate = FaultySubstrate(
+            inner, schedule=FaultSchedule.nth_call("create_file", 1)
+        )
+        with pytest.raises(SubstrateFault):
+            substrate.create_file("col", 4)
+        assert inner.files() == []
+
+    def test_capacity_budget(self):
+        substrate = FaultySubstrate(
+            make_substrate("simulated"), file_page_budget=8
+        )
+        substrate.create_file("small", 8)
+        with pytest.raises(SubstrateFault) as excinfo:
+            substrate.create_file("big", 9)
+        assert excinfo.value.kind == "capacity"
+
+    def test_store_resize_routes_through_plane(self):
+        substrate = FaultySubstrate(
+            make_substrate("simulated"), file_page_budget=8
+        )
+        store = substrate.create_file("col", 4)
+        store.resize(8)
+        with pytest.raises(SubstrateFault):
+            store.resize(9)
+
+    def test_suppression_blocks_fault_and_counters(self):
+        schedule = FaultSchedule.nth_call("reserve", 1)
+        substrate = FaultySubstrate(make_substrate("simulated"), schedule)
+        with substrate.suppressed():
+            substrate.reserve(1)  # does not fire, does not count
+        assert schedule.counters.get("reserve", 0) == 0
+        with pytest.raises(SubstrateFault):
+            substrate.reserve(1)  # the first *observed* call still fires
+
+    def test_suppress_faults_on_plain_substrate_is_noop(self):
+        plain = make_substrate("simulated")
+        with suppress_faults(plain):
+            assert plain.reserve(1) >= 0
+
+    def test_stale_maps_returns_previous_snapshot(self):
+        substrate = FaultySubstrate(make_substrate("simulated"))
+        store = substrate.create_file("col", 2)
+        substrate.map_file(2, store)
+        path = substrate.file_map_path(store)
+        fresh = substrate.maps_snapshot(file_filter=path)
+        substrate.schedule = FaultSchedule.nth_call(
+            "maps_snapshot", 1, kind=FaultKind.STALE_MAPS
+        )
+        stale = substrate.maps_snapshot(file_filter=path)
+        assert stale is fresh
+
+    def test_stale_maps_without_history_degrades_to_error(self):
+        substrate = FaultySubstrate(
+            make_substrate("simulated"),
+            schedule=FaultSchedule.nth_call(
+                "maps_snapshot", 1, kind=FaultKind.STALE_MAPS
+            ),
+        )
+        with pytest.raises(SubstrateFault):
+            substrate.maps_snapshot(file_filter="/anything")
+
+
+def _session_ledger(substrate) -> tuple:
+    """One fixed adaptive session; returns the final ledger snapshot."""
+    with AdaptiveDatabase(
+        config=AdaptiveConfig(background_mapping=False), backend=substrate
+    ) as db:
+        db.create_table("t", {"x": _values()})
+        rng = np.random.default_rng(11)
+        for i in range(12):
+            lo = int(rng.integers(0, 900_000))
+            db.query("t", "x", lo, lo + 50_000)
+            if (i + 1) % 4 == 0:
+                for _ in range(6):
+                    db.update(
+                        "t", "x",
+                        int(rng.integers(0, 8 * 512)),
+                        int(rng.integers(0, 1_000_000)),
+                    )
+                db.flush_updates("t", "x")
+        return db.cost.ledger.snapshot()
+
+
+class TestCostTransparency:
+    def test_unarmed_plane_is_cost_transparent(self):
+        """Without a schedule the wrapper never changes simulated cost."""
+        bare = _session_ledger(make_substrate("simulated"))
+        wrapped = _session_ledger(FaultySubstrate(make_substrate("simulated")))
+        assert wrapped == bare
+
+    def test_audit_never_charges_the_ledger(self):
+        with AdaptiveDatabase(
+            config=AdaptiveConfig(background_mapping=False)
+        ) as db:
+            db.create_table("t", {"x": _values()})
+            for lo in (0, 200_000, 400_000):
+                db.query("t", "x", lo, lo + 80_000)
+            before = db.cost.ledger.snapshot()
+            report = db.audit()
+            assert report.ok
+            assert report.checks > 0
+            assert db.cost.ledger.snapshot() == before
