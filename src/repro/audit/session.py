@@ -15,7 +15,8 @@ import numpy as np
 
 from ..core.config import AdaptiveConfig
 from ..core.facade import AdaptiveDatabase
-from ..faults import FaultRule, FaultSchedule, FaultySubstrate
+from ..faults import FaultKind, FaultRule, FaultSchedule, FaultySubstrate
+from ..resilience.policy import ResilienceConfig
 from ..seeds import derive_seed, resolve_seed
 from ..substrate import make_substrate
 from ..workloads.distributions import DEFAULT_DOMAIN, sine
@@ -23,7 +24,7 @@ from .invariants import InvariantAuditor
 from .report import AuditReport
 
 #: Named fault intensities the CLI exposes.
-FAULT_LEVELS = ("none", "light", "heavy")
+FAULT_LEVELS = ("none", "light", "heavy", "transient")
 
 
 def _schedule_for(level: str, seed: int) -> FaultSchedule | None:
@@ -41,6 +42,26 @@ def _schedule_for(level: str, seed: int) -> FaultSchedule | None:
             FaultRule(ops="map_fixed", probability=0.10),
             FaultRule(ops="unmap_slot", probability=0.05),
             FaultRule(ops="maps_snapshot", probability=0.15),
+        ]
+    elif level == "transient":
+        # Mostly recoverable faults (the resilience layer's home turf):
+        # lost remaps, failed maps reads and stale snapshots retry to
+        # success; reserve faults are forced transient so even view
+        # allocation heals.  One rare *permanent* map_fixed rule stays
+        # in to exercise quarantine-and-rebuild.
+        rules = [
+            FaultRule(ops="map_fixed", probability=0.15),
+            FaultRule(
+                ops=("reserve", "map_file"), probability=0.05, transient=True
+            ),
+            FaultRule(ops="unmap_slot", probability=0.08),
+            FaultRule(ops="maps_snapshot", probability=0.12),
+            FaultRule(
+                ops="maps_snapshot",
+                probability=0.08,
+                kind=FaultKind.STALE_MAPS,
+            ),
+            FaultRule(ops="map_fixed", probability=0.02, transient=False),
         ]
     else:
         raise ValueError(
@@ -63,11 +84,21 @@ class AuditSessionResult:
     queries: int = 0
     #: Rows returned across all queries.
     rows: int = 0
+    #: Final health state of the database ("healthy" when disarmed).
+    health: str = "healthy"
+    #: Views still quarantined when the session ended.
+    quarantined: int = 0
+    #: Whether a requested end-of-session repair converged (None = no
+    #: repair was requested).
+    repaired: bool | None = None
+    #: Aggregated resilience counters (empty when disarmed).
+    resilience: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        """Whether every audit (interim and final) passed."""
-        return self.report.ok and all(r.ok for r in self.interim)
+        """Whether every audit passed and any requested repair converged."""
+        audits_ok = self.report.ok and all(r.ok for r in self.interim)
+        return audits_ok and self.repaired is not False
 
     def render(self) -> str:
         """Human-readable session summary plus the final report."""
@@ -80,6 +111,29 @@ class AuditSessionResult:
         lines.append(
             f"interim audits : {len(self.interim)} ({failed} failed)"
         )
+        if self.resilience:
+            lines.append(
+                f"health         : {self.health} "
+                f"({self.quarantined} quarantined)"
+            )
+            for name, status in self.resilience.get("layers", {}).items():
+                lines.append(
+                    f"  {name}: {status['retries']} retries "
+                    f"({status['retries_recovered']} recovered), "
+                    f"{status['views_rebuilt']} rebuilt, "
+                    f"{status['governor_evictions']} evicted, "
+                    f"{status['governor_denials']} denied"
+                )
+                if status["mapping_budget"] is not None:
+                    lines.append(
+                        f"  {name}: {status['maps_lines']} maps lines "
+                        f"/ budget {status['mapping_budget']}"
+                    )
+        if self.repaired is not None:
+            lines.append(
+                "repair         : "
+                + ("converged" if self.repaired else "DID NOT CONVERGE")
+            )
         lines.append("")
         lines.append(self.report.render())
         return "\n".join(lines)
@@ -91,18 +145,31 @@ def run_audited_session(
     backend: str = "simulated",
     faults: str = "none",
     seed: int | None = None,
+    resilience: ResilienceConfig | None = None,
+    repair: bool = False,
 ) -> AuditSessionResult:
-    """One seeded adaptive session with auditing after every flush."""
+    """One seeded adaptive session with auditing after every flush.
+
+    ``resilience`` arms the self-healing layer for the whole session;
+    ``repair`` additionally runs :meth:`AdaptiveDatabase.repair` at the
+    end (rebuilding every quarantined view) followed by a final audit —
+    the session then only counts as ok when the repair converged.
+    """
     seed = resolve_seed(seed)
     rng = np.random.default_rng(derive_seed(1, seed))
     values = sine(num_pages, seed=derive_seed(2, seed))
     lo_dom, hi_dom = DEFAULT_DOMAIN
 
+    if repair and resilience is None:
+        resilience = ResilienceConfig(seed=seed)
+
     substrate = FaultySubstrate(make_substrate(backend))
     auditor = InvariantAuditor()
     result: AuditSessionResult
     with AdaptiveDatabase(
-        config=AdaptiveConfig(background_mapping=False), backend=substrate
+        config=AdaptiveConfig(background_mapping=False),
+        backend=substrate,
+        resilience=resilience,
     ) as db:
         db.create_table("t", {"x": values})
         db.layer("t", "x")  # instantiate the full view fault-free
@@ -126,12 +193,31 @@ def run_audited_session(
                 db.flush_updates("t", "x")
                 interim.append(auditor.audit_database(db))
 
+        journal = [fault.describe() for fault in substrate.journal]
+        repaired: bool | None = None
+        if repair:
+            # Repairs re-create real mappings, so they run fault-free;
+            # the journal above already captured the session's faults.
+            substrate.schedule = None
+            repaired = db.repair()
+
         final = auditor.audit_database(db)
+        status = (
+            db.resilience_status() if resilience is not None else {}
+        )
+        quarantined = sum(
+            layer["quarantined"]
+            for layer in status.get("layers", {}).values()
+        )
         result = AuditSessionResult(
             report=final,
             interim=interim,
-            faults=[fault.describe() for fault in substrate.journal],
+            faults=journal,
             queries=queries,
             rows=rows,
+            health=db.health().value,
+            quarantined=quarantined,
+            repaired=repaired,
+            resilience=status,
         )
     return result

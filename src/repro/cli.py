@@ -262,6 +262,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="session seed (default: REPRO_SEED or 0)",
     )
+    audit.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "arm the resilience layer and repair quarantined views at "
+            "the end (exit 0 only if the repair converges)"
+        ),
+    )
+
+    resilience = subparsers.add_parser(
+        "resilience",
+        help=(
+            "run a fault-heavy session with the self-healing layer armed "
+            "and print its governor/health/retry counters"
+        ),
+    )
+    resilience.add_argument(
+        "--pages",
+        type=int,
+        default=64,
+        help="column size in pages (default: 64)",
+    )
+    resilience.add_argument(
+        "--queries",
+        type=int,
+        default=24,
+        help="queries in the session (default: 24)",
+    )
+    resilience.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="simulated",
+        help="substrate backend (default: simulated)",
+    )
+    resilience.add_argument(
+        "--faults",
+        choices=FAULT_LEVELS,
+        default="transient",
+        help="injected fault intensity (default: transient)",
+    )
+    resilience.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="session seed (default: REPRO_SEED or 0)",
+    )
+    resilience.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="maps-line budget enforced by the mapping governor",
+    )
 
     regress = subparsers.add_parser(
         "regress", help="compare two exported result directories"
@@ -398,6 +450,27 @@ def _run_audit(args: argparse.Namespace) -> int:
         backend=args.backend,
         faults=args.faults,
         seed=args.seed,
+        repair=args.repair,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def _run_resilience(args: argparse.Namespace) -> int:
+    from .audit.session import run_audited_session
+    from .resilience.policy import ResilienceConfig
+    from .seeds import resolve_seed
+
+    result = run_audited_session(
+        num_pages=args.pages,
+        num_queries=args.queries,
+        backend=args.backend,
+        faults=args.faults,
+        seed=args.seed,
+        resilience=ResilienceConfig(
+            mapping_budget=args.budget, seed=resolve_seed(args.seed)
+        ),
+        repair=True,
     )
     print(result.render())
     return 0 if result.ok else 1
@@ -422,6 +495,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_regress(args)
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "resilience":
+        return _run_resilience(args)
     if args.command == "perf":
         return _run_perf(args)
     if args.command == "trace":

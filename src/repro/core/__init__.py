@@ -24,9 +24,10 @@ from .stats import (
     SequenceStats,
     ViewEvent,
     ViewLifecycleEvent,
+    view_utility,
 )
 from .view import MapRequest, VirtualView
-from .view_index import ViewIndex
+from .view_index import QuarantineEntry, ViewIndex
 
 __all__ = [
     "AdaptiveConfig",
@@ -58,8 +59,10 @@ __all__ = [
     "materialize_pages",
     "NO_ABOVE",
     "NO_BELOW",
+    "QuarantineEntry",
     "QueryResult",
     "QueryStats",
+    "view_utility",
     "rebuild_partial_views",
     "RoutedScan",
     "RoutingMode",

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..faults.errors import SubstrateFault
 from ..obs.observer import NULL_OBSERVER, NullObserver
+from ..resilience.policy import HealthState, ResilienceConfig
 from ..storage.column import PhysicalColumn
 from ..storage.page import clamp_range
 from ..storage.updates import UpdateBatch
@@ -61,6 +62,7 @@ class AdaptiveStorageLayer:
         column: PhysicalColumn,
         config: AdaptiveConfig | None = None,
         observer: NullObserver | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.column = column
         self.config = config or AdaptiveConfig()
@@ -69,6 +71,20 @@ class AdaptiveStorageLayer:
         #: of conditionals and of simulated-time side effects.
         self.observer = observer or NULL_OBSERVER
         self.view_index = ViewIndex(column, self.config, observer=self.observer)
+        #: Self-healing controller (retry / quarantine / governor), or
+        #: None when resilience is disarmed — the disarmed layer takes
+        #: no resilience branch anywhere, keeping its cost ledger
+        #: bit-identical to a build without the subsystem.
+        self.resilience = None
+        if resilience is not None and resilience.enabled:
+            from ..resilience.controller import ResilienceController
+
+            self.resilience = ResilienceController(
+                column,
+                self.view_index,
+                config=resilience,
+                observer=self.observer,
+            )
         self._background: BackgroundMapper | None = None
         if self.config.background_mapping:
             self._background = BackgroundMapper(column.cost)
@@ -108,7 +124,22 @@ class AdaptiveStorageLayer:
 
             event = ViewEvent.NONE
             candidate_pages = 0
-            if not self.view_index.generation_stopped:
+            res = self.resilience
+            generate = not self.view_index.generation_stopped
+            if generate and res is not None:
+                if not res.allow_candidate():
+                    # READONLY: the layer answers from the existing views
+                    # (the full view guarantees correctness) but stops
+                    # investing in new candidates until repaired.
+                    generate = False
+                elif not res.admit_candidate(
+                    routed.qualifying_fpages,
+                    routed.extended_lo,
+                    routed.extended_hi,
+                ):
+                    generate = False
+                    event = ViewEvent.DENIED_BUDGET
+            if generate:
                 with obs.span(
                     "candidate",
                     lo=routed.extended_lo,
@@ -116,20 +147,29 @@ class AdaptiveStorageLayer:
                 ) as cspan:
                     candidate = None
                     try:
-                        candidate = VirtualView(self.column, lo, hi)
+                        if res is not None:
+                            candidate = res.retry.run(
+                                "reserve",
+                                lambda: VirtualView(self.column, lo, hi),
+                            )
+                        else:
+                            candidate = VirtualView(self.column, lo, hi)
                         materialize_pages(
                             candidate,
                             routed.qualifying_fpages,
                             coalesce=self.config.coalesce_mmap,
                             background=self._background,
                             observer=obs,
+                            retry=res.retry if res is not None else None,
                         )
                         candidate.update_range(
                             routed.extended_lo, routed.extended_hi
                         )
                         candidate_pages = candidate.num_pages
                         event = self.view_index.consider_candidate(candidate)
-                    except SubstrateFault:
+                        if res is not None:
+                            res.note_success()
+                    except SubstrateFault as exc:
                         # The query result is already computed from the
                         # existing views; only the side-product candidate
                         # is lost.  Roll it back and carry on.
@@ -139,6 +179,10 @@ class AdaptiveStorageLayer:
                         event = self.view_index.record_fault(
                             routed.extended_lo, routed.extended_hi
                         )
+                        if res is not None:
+                            res.on_candidate_fault(
+                                exc, routed.extended_lo, routed.extended_hi
+                            )
                     cspan.set(pages=candidate_pages, event=event.value)
             qspan.set(
                 pages_scanned=routed.pages_scanned,
@@ -203,16 +247,47 @@ class AdaptiveStorageLayer:
         partial view against the batch.
         """
         with self._lock:
+            res = self.resilience
             stats = align_partial_views(
                 self.column,
                 self.view_index.partial_views,
                 batch,
                 observer=self.observer,
+                retry=res.retry if res is not None else None,
             )
             for view in stats.dropped_views:
                 self.view_index.discard(view)
             self._dirty_fpages.clear()
+            if res is not None:
+                # Views lost to permanent faults queue for rebuild, then
+                # the recovery pass runs: budget enforcement followed by
+                # quarantine drain (now that updates are applied and the
+                # semantic audit is meaningful again).
+                res.on_views_dropped(stats.dropped_views)
+                cycle = res.maintenance_cycle()
+                stats.views_rebuilt = cycle["rebuilt"]
+                stats.governor_evictions = cycle["evicted"]
             return stats
+
+    # -- resilience surface --------------------------------------------------
+
+    def health(self) -> HealthState:
+        """The layer's health (HEALTHY when resilience is disarmed)."""
+        with self._lock:
+            if self.resilience is None:
+                return HealthState.HEALTHY
+            return self.resilience.health()
+
+    def repair(self) -> bool:
+        """Rebuild quarantined views now; True when quarantine is empty.
+
+        Unlike the per-maintenance drain this also runs in the READONLY
+        state and, on convergence, clears the READONLY latch.
+        """
+        with self._lock:
+            if self.resilience is None:
+                return True
+            return self.resilience.repair()
 
     # -- lifecycle -----------------------------------------------------------
 

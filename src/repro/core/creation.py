@@ -62,7 +62,7 @@ class BackgroundMapper:
         self._thread = threading.Thread(
             target=self._run, name="view-mapper", daemon=True
         )
-        self._failure: BaseException | None = None
+        self._failures: list[tuple[VirtualView, MapRequest, BaseException]] = []
         self._thread.start()
 
     def submit(self, view: VirtualView, request: MapRequest) -> None:
@@ -70,17 +70,41 @@ class BackgroundMapper:
         self._cost.queue_op(1, MAIN_LANE)
         self._queue.put((view, request))
 
-    def flush(self) -> None:
+    def flush(self, retry=None) -> None:
         """Wait until all submitted requests have been mapped.
 
-        Re-raises the first exception the mapping thread hit while
-        draining this flush's requests, then clears it — the thread
-        stays alive and the mapper is reusable for the next view.
+        With a :class:`~repro.resilience.retry.RetryPolicy`, requests
+        the mapping thread lost to *transient* substrate faults are
+        retried here (on the mapper lane, like the attempt they replace)
+        before any failure surfaces.  Re-raises the first unrecovered
+        exception, then clears the failure list — the thread stays alive
+        and the mapper is reusable for the next view.
         """
         self._queue.join()
-        failure, self._failure = self._failure, None
-        if failure is not None:
-            raise failure
+        failures, self._failures = self._failures, []
+        unrecovered: BaseException | None = None
+        for view, request, exc in failures:
+            if (
+                retry is not None
+                and isinstance(exc, SubstrateFault)
+                and exc.transient
+            ):
+                try:
+                    retry.resume(
+                        "map_fixed",
+                        exc,
+                        lambda v=view, r=request: v.execute_request(
+                            r, lane=MAPPER_LANE
+                        ),
+                        lane=MAPPER_LANE,
+                    )
+                    continue
+                except SubstrateFault as final:
+                    exc = final
+            if unrecovered is None:
+                unrecovered = exc
+        if unrecovered is not None:
+            raise unrecovered
 
     def stop(self) -> None:
         """Terminate the mapping thread (idempotent)."""
@@ -96,10 +120,12 @@ class BackgroundMapper:
                     return
                 view, request = item
                 self._cost.queue_op(1, MAPPER_LANE)
-                view.execute_request(request, lane=MAPPER_LANE)
-            except BaseException as exc:  # surface errors to the flusher
-                if self._failure is None:
-                    self._failure = exc
+                try:
+                    view.execute_request(request, lane=MAPPER_LANE)
+                except BaseException as exc:
+                    # Park the failed request for the flusher, which can
+                    # retry transient faults before surfacing anything.
+                    self._failures.append((view, request, exc))
             finally:
                 self._queue.task_done()
 
@@ -111,6 +137,7 @@ def materialize_pages(
     background: BackgroundMapper | None = None,
     lane: str = MAIN_LANE,
     observer: NullObserver | None = None,
+    retry=None,
 ) -> int:
     """Map the qualifying pages into a fresh view; returns mmap calls used.
 
@@ -118,6 +145,10 @@ def materialize_pages(
     become single calls; otherwise every page is mapped individually.
     With a ``background`` mapper, the calls run on the mapping thread and
     this function returns only after the view is completely mapped.
+    With a ``retry`` policy, transient substrate faults are retried with
+    backoff instead of aborting the creation (each request issues exactly
+    one substrate call and the fault plane raises before the backend
+    mutates, so re-attempting a request wholesale is safe).
     """
     obs = observer or NULL_OBSERVER
     fpages = np.asarray(fpages, dtype=np.int64)
@@ -143,10 +174,16 @@ def materialize_pages(
         for request in requests:
             if background is not None:
                 background.submit(view, request)
+            elif retry is not None:
+                retry.run(
+                    "map_fixed",
+                    lambda r=request: view.execute_request(r, lane=lane),
+                    lane,
+                )
             else:
                 view.execute_request(request, lane=lane)
         if background is not None:
-            background.flush()
+            background.flush(retry=retry)
         mspan.set(runs=len(requests))
     return len(requests)
 
@@ -176,6 +213,7 @@ def create_partial_view(
     hi: int,
     coalesce: bool = True,
     background: BackgroundMapper | None = None,
+    retry=None,
 ) -> CreationReport:
     """Create a partial view ``v[lo, hi]`` from existing covering views.
 
@@ -194,6 +232,7 @@ def create_partial_view(
                 routed.qualifying_fpages,
                 coalesce=coalesce,
                 background=background,
+                retry=retry,
             )
         except SubstrateFault:
             # Atomic rewire: a fault mid-creation unmaps and releases the

@@ -13,6 +13,7 @@ from typing import Mapping
 import numpy as np
 
 from ..obs.observer import Observer
+from ..resilience.policy import HealthState, ResilienceConfig, worst_health
 from ..storage.table import Catalog, Table
 from ..substrate import Substrate, make_substrate
 from ..vm.cost import CostModel
@@ -33,6 +34,7 @@ class AdaptiveDatabase:
         auto_flush_threshold: int | None = None,
         observe: bool | Observer = False,
         backend: str | Substrate = "simulated",
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         """``auto_flush_threshold`` enables automatic batch view
         realignment: once a column's pending update log reaches the
@@ -51,6 +53,12 @@ class AdaptiveDatabase:
         ``"native"`` (real Linux memfd files and ``mmap(MAP_FIXED)``
         rewiring; Linux only).  A pre-built
         :class:`~repro.substrate.interface.Substrate` is also accepted.
+
+        ``resilience`` arms the self-healing layer (retry with simulated
+        backoff, view quarantine-and-rebuild, the mapping-budget
+        governor) on every storage layer.  Disarmed (the default), no
+        resilience code runs and cost ledgers are bit-identical to a
+        build without the subsystem.
         """
         if auto_flush_threshold is not None and auto_flush_threshold < 1:
             raise ValueError("auto_flush_threshold must be positive")
@@ -69,6 +77,9 @@ class AdaptiveDatabase:
                 else Observer(self.catalog.cost.ledger)
             )
             self.substrate.set_observer(self.observer)
+        #: The resilience configuration every layer is armed with, or
+        #: None when the subsystem is off.
+        self.resilience_config = resilience
         self._layers: dict[tuple[str, str], AdaptiveStorageLayer] = {}
 
     @property
@@ -92,7 +103,10 @@ class AdaptiveDatabase:
         if key not in self._layers:
             column = self.table(table_name).column(column_name)
             self._layers[key] = AdaptiveStorageLayer(
-                column, self.config, observer=self.observer
+                column,
+                self.config,
+                observer=self.observer,
+                resilience=self.resilience_config,
             )
         return self._layers[key]
 
@@ -169,6 +183,45 @@ class AdaptiveDatabase:
         from ..audit.invariants import InvariantAuditor
 
         return InvariantAuditor(max_content_pages).audit_database(self)
+
+    # -- resilience -----------------------------------------------------------
+
+    def health(self) -> HealthState:
+        """Database health: the worst health over all instantiated layers.
+
+        HEALTHY when resilience is disarmed or no layer exists yet.
+        Query results are correct in every state — READONLY only stops
+        the adaptive side-work, never the full-scan fallback.
+        """
+        return worst_health(
+            layer.health() for layer in self._layers.values()
+        )
+
+    def repair(self) -> bool:
+        """Rebuild every quarantined view across all layers, on demand.
+
+        Pending updates are flushed first (a rebuild must not race a
+        stale catalog), then each layer drains its quarantine.  Returns
+        True when every layer converged to an empty quarantine.
+        """
+        converged = True
+        for (table_name, column_name), layer in self._layers.items():
+            table = self.table(table_name)
+            if len(table.pending_updates(column_name)):
+                layer.apply_updates(table.drain_updates(column_name))
+            converged = layer.repair() and converged
+        return converged
+
+    def resilience_status(self) -> dict:
+        """Aggregated resilience counters (per layer plus overall health)."""
+        return {
+            "health": self.health().value,
+            "layers": {
+                f"{table}.{column}": layer.resilience.status()
+                for (table, column), layer in self._layers.items()
+                if layer.resilience is not None
+            },
+        }
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -50,6 +50,13 @@ def _any_in_range(sorted_values: list[int], lo: int, hi: int) -> bool:
     return idx < len(sorted_values) and sorted_values[idx] <= hi
 
 
+def _retryable(retry, op: str, fn, lane: str):
+    """Run ``fn`` directly, or under the retry policy when one is armed."""
+    if retry is None:
+        return fn()
+    return retry.run(op, fn, lane)
+
+
 def _is_indexed(
     snapshot: MappingSnapshot, view: VirtualView, path: str, fpage: int
 ) -> bool:
@@ -73,6 +80,7 @@ def _align_one_view(
     page_groups: list,
     stats: MaintenanceStats,
     lane: str,
+    retry=None,
 ) -> None:
     """Apply the case analysis of Section 2.4 to one partial view."""
     cost = column.cost
@@ -93,7 +101,14 @@ def _align_one_view(
 
         if not indexed:
             if any_new_in:
-                view.add_page(fpage, lane=lane)
+                # add_page rolls its slot back on failure, so a wholesale
+                # re-attempt under the retry policy is safe.
+                _retryable(
+                    retry,
+                    "map_fixed",
+                    lambda p=fpage: view.add_page(p, lane=lane),
+                    lane,
+                )
                 snapshot.map(view.vpn_of(fpage), (path, fpage), lane)
                 stats.pages_added += 1
             continue
@@ -108,7 +123,12 @@ def _align_one_view(
         result = column.scan_page(fpage, a, b, access_kind="random", lane=lane)
         if result.empty:
             vpn = view.vpn_of(fpage)
-            view.remove_page(fpage, lane=lane)
+            _retryable(
+                retry,
+                "unmap_slot",
+                lambda p=fpage: view.remove_page(p, lane=lane),
+                lane,
+            )
             snapshot.unmap(vpn, lane)
             stats.pages_removed += 1
 
@@ -119,11 +139,15 @@ def align_partial_views(
     batch: UpdateBatch,
     lane: str = MAIN_LANE,
     observer: NullObserver | None = None,
+    retry=None,
 ) -> MaintenanceStats:
     """Align all ``views`` of ``column`` against an applied update batch.
 
     Returns the timing split (maps parsing vs. view updating) and the
-    page add/remove counts that Figure 7 plots.
+    page add/remove counts that Figure 7 plots.  With a ``retry``
+    policy, transient faults (a failed maps read, a lost remap) are
+    retried with backoff before the drop-the-view fallback engages;
+    permanent faults and torn snapshots still drop views as before.
     """
     obs = observer or NULL_OBSERVER
     cost = column.cost
@@ -145,10 +169,15 @@ def align_partial_views(
         path = column.substrate.file_map_path(column.file)
         try:
             with cost.region() as parse_region, obs.span("maps-parse"):
-                snapshot = column.substrate.maps_snapshot(
-                    cost=cost,
-                    lane=lane,
-                    file_filter=path,
+                snapshot = _retryable(
+                    retry,
+                    "maps_snapshot",
+                    lambda: column.substrate.maps_snapshot(
+                        cost=cost,
+                        lane=lane,
+                        file_filter=path,
+                    ),
+                    lane,
                 )
         except (SubstrateFault, VmError):
             stats.faults += 1
@@ -187,7 +216,14 @@ def align_partial_views(
                     continue
                 try:
                     _align_one_view(
-                        column, view, snapshot, path, page_groups, stats, lane
+                        column,
+                        view,
+                        snapshot,
+                        path,
+                        page_groups,
+                        stats,
+                        lane,
+                        retry=retry,
                     )
                 except (SubstrateFault, VmError):
                     # A fault mid-alignment leaves this view's page set

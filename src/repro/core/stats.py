@@ -40,6 +40,32 @@ class ViewEvent(Enum):
     #: half-built view was rolled back and the query served from scans.
     FAULTED = "faulted"
 
+    #: A view (or failed candidate range) entered the quarantine list
+    #: for a later rebuild.
+    QUARANTINED = "quarantined"
+
+    #: A quarantined range was rebuilt from physical pages, passed its
+    #: scoped invariant audit, and re-entered the index.
+    REBUILT = "rebuilt"
+
+    #: The mapping governor denied the candidate admission: even after
+    #: eviction the maps-line budget had no headroom for it.
+    DENIED_BUDGET = "denied_budget"
+
+    #: The mapping governor evicted this view to satisfy the budget.
+    EVICTED_BUDGET = "evicted_budget"
+
+
+def view_utility(use_count: int, num_pages: int) -> int:
+    """How much a partial view has earned its mappings.
+
+    The governor evicts the lowest-utility views first: utility is the
+    view's hit count times its page count — how much full-scan work the
+    view has saved so far.  A never-used view scores 0 regardless of
+    size and is always the first to go.
+    """
+    return use_count * num_pages
+
 
 @dataclass(frozen=True)
 class ViewLifecycleEvent:
@@ -141,6 +167,10 @@ class MaintenanceStats:
     #: The dropped views themselves (for the caller to discard from
     #: its view index).
     dropped_views: list = field(default_factory=list)
+    #: Quarantined views rebuilt during this cycle's recovery pass.
+    views_rebuilt: int = 0
+    #: Views evicted by the mapping governor during this cycle.
+    governor_evictions: int = 0
 
     @property
     def total_ns(self) -> float:
@@ -157,6 +187,11 @@ class MaintenanceStats:
         )
         if self.faults:
             line += f", {self.faults} fault(s)/{self.views_dropped} dropped"
+        if self.views_rebuilt or self.governor_evictions:
+            line += (
+                f", {self.views_rebuilt} rebuilt/"
+                f"{self.governor_evictions} evicted (budget)"
+            )
         return line
 
     def __str__(self) -> str:

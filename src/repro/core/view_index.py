@@ -10,6 +10,7 @@ once the limit is reached).
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -19,6 +20,25 @@ from ..vm.cost import MAIN_LANE
 from .config import AdaptiveConfig, EvictionPolicy, RoutingMode
 from .stats import ViewEvent, ViewLifecycleEvent
 from .view import VirtualView
+
+
+@dataclass
+class QuarantineEntry:
+    """A value range whose view was lost and awaits a rebuild.
+
+    Lives in :attr:`ViewIndex.quarantine`; the resilience layer's
+    rebuilder drains the list during maintenance or an explicit repair.
+    (Defined here rather than in :mod:`repro.resilience` so the core
+    never imports the resilience package.)
+    """
+
+    #: The lost view's covered value range.
+    lo: int
+    hi: int
+    #: Why the range was quarantined (fault kind or "maintenance").
+    reason: str = ""
+    #: Rebuild attempts consumed so far.
+    attempts: int = 0
 
 
 class ViewIndex:
@@ -43,6 +63,11 @@ class ViewIndex:
         #: Logical clock for LRU bookkeeping.
         self._use_clock = 0
         self._last_used: dict[int, int] = {}
+        #: Query hits per partial view (feeds the governor's utility).
+        self._use_counts: dict[int, int] = {}
+        #: Ranges whose views were lost to permanent faults (or dropped
+        #: by maintenance) and await rebuild by the resilience layer.
+        self.quarantine: list[QuarantineEntry] = []
         #: Interval index over the partial views: views sorted by
         #: ``(lo, -hi, insertion position)``, with a parallel ``lo``
         #: array for bisect.  Rebuilt lazily after inserts/replaces/
@@ -91,6 +116,17 @@ class ViewIndex:
         for view in views:
             if not view.is_full_view:
                 self._last_used[id(view)] = self._use_clock
+                self._use_counts[id(view)] = (
+                    self._use_counts.get(id(view), 0) + 1
+                )
+
+    def use_count(self, view: VirtualView) -> int:
+        """How many queries this partial view has served."""
+        return self._use_counts.get(id(view), 0)
+
+    def last_used(self, view: VirtualView) -> int:
+        """The LRU clock tick of the view's most recent use (0 = never)."""
+        return self._last_used.get(id(view), 0)
 
     def _ensure_sorted(self) -> None:
         """Rebuild the interval index if views were added/removed."""
@@ -300,6 +336,35 @@ class ViewIndex:
         self.observer.on_view_event(record)
         return event
 
+    def record_decision(
+        self,
+        view: VirtualView,
+        event: ViewEvent,
+        other: VirtualView | None = None,
+    ) -> ViewEvent:
+        """Journal a lifecycle decision made outside the retention path
+        (e.g. a governor eviction)."""
+        return self._journal(view, event, other=other)
+
+    def record_range_event(
+        self, event: ViewEvent, lo: int, hi: int, pages: int = 0
+    ) -> ViewEvent:
+        """Journal an event described only by a value range.
+
+        Used for decisions without a live candidate object: faults,
+        quarantines, rebuilds and budget denials.
+        """
+        record = ViewLifecycleEvent(
+            sequence=len(self.history) + 1,
+            event=event,
+            lo=lo,
+            hi=hi,
+            candidate_pages=pages,
+        )
+        self.history.append(record)
+        self.observer.on_view_event(record)
+        return event
+
     def record_fault(self, lo: int, hi: int) -> ViewEvent:
         """Journal a candidate lost to a substrate fault.
 
@@ -307,16 +372,22 @@ class ViewIndex:
         this records the failed creation attempt over ``[lo, hi]`` so
         the lifecycle journal explains the missing view.
         """
-        record = ViewLifecycleEvent(
-            sequence=len(self.history) + 1,
-            event=ViewEvent.FAULTED,
-            lo=lo,
-            hi=hi,
-            candidate_pages=0,
-        )
-        self.history.append(record)
-        self.observer.on_view_event(record)
-        return ViewEvent.FAULTED
+        return self.record_range_event(ViewEvent.FAULTED, lo, hi)
+
+    # -- quarantine (resilience layer) ------------------------------------
+
+    def quarantine_range(self, lo: int, hi: int, reason: str = "") -> None:
+        """Queue a lost range for rebuild (idempotent per range)."""
+        for entry in self.quarantine:
+            if entry.lo == lo and entry.hi == hi:
+                return
+        self.quarantine.append(QuarantineEntry(lo=lo, hi=hi, reason=reason))
+        self.record_range_event(ViewEvent.QUARANTINED, lo, hi)
+
+    def release_quarantine(self, entry: QuarantineEntry) -> None:
+        """Remove an entry after a rebuild (or after giving up on it)."""
+        if entry in self.quarantine:
+            self.quarantine.remove(entry)
 
     def discard(self, view: VirtualView) -> None:
         """Forget an already-destroyed partial view (fault fallout).
@@ -328,6 +399,7 @@ class ViewIndex:
         if view in self._partials:
             self._partials.remove(view)
             self._last_used.pop(id(view), None)
+            self._use_counts.pop(id(view), None)
             self._sorted_dirty = True
 
     def insert(self, view: VirtualView) -> None:
@@ -343,6 +415,8 @@ class ViewIndex:
         """Replace partial view ``old`` by ``new``, destroying ``old``."""
         idx = self._partials.index(old)
         self._partials[idx] = new
+        self._last_used.pop(id(old), None)
+        self._use_counts.pop(id(old), None)
         self._sorted_dirty = True
         old.destroy(lane)
 
@@ -350,5 +424,6 @@ class ViewIndex:
         """Remove and destroy a partial view."""
         self._partials.remove(view)
         self._last_used.pop(id(view), None)
+        self._use_counts.pop(id(view), None)
         self._sorted_dirty = True
         view.destroy(lane)

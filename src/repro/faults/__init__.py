@@ -16,15 +16,18 @@ from .plane import (
 )
 from .schedule import (
     DEFAULT_KINDS,
+    DEFAULT_TRANSIENT,
     FaultKind,
     FaultRule,
     FaultSchedule,
     InjectedFault,
     default_kind,
+    default_transient,
 )
 
 __all__ = [
     "DEFAULT_KINDS",
+    "DEFAULT_TRANSIENT",
     "FaultKind",
     "FaultRule",
     "FaultSchedule",
@@ -34,6 +37,7 @@ __all__ = [
     "SubstrateFault",
     "TornSnapshotError",
     "default_kind",
+    "default_transient",
     "suppress_faults",
     "unwrap_store",
 ]

@@ -21,18 +21,29 @@ class SubstrateFault(RuntimeError):
 
     ``kind`` is the :class:`~repro.faults.schedule.FaultKind` value that
     fired (a plain string to keep this module dependency-free), ``op``
-    the substrate operation that raised, and ``call_index`` the 1-based
-    per-operation call count at which the schedule triggered.
+    the substrate operation that raised, ``call_index`` the 1-based
+    per-operation call count at which the schedule triggered, and
+    ``transient`` whether the failure is classified as recoverable by
+    retrying (resource exhaustion is permanent; a lost mapping race or
+    torn maps read clears on its own).
     """
 
     def __init__(
-        self, op: str, kind: str, call_index: int | None = None
+        self,
+        op: str,
+        kind: str,
+        call_index: int | None = None,
+        transient: bool = False,
     ) -> None:
         detail = f" (call #{call_index})" if call_index is not None else ""
-        super().__init__(f"substrate fault: {kind} during {op}{detail}")
+        grade = "transient" if transient else "permanent"
+        super().__init__(
+            f"substrate fault: {kind} ({grade}) during {op}{detail}"
+        )
         self.op = op
         self.kind = kind
         self.call_index = call_index
+        self.transient = transient
 
 
 class TornSnapshotError(SubstrateFault):

@@ -128,7 +128,12 @@ class FaultySubstrate(Substrate):
         fault = self._consult(op)
         if fault is not None:
             self._on_fault(op, fault.kind.value)
-            raise SubstrateFault(op, fault.kind.value, fault.call_index)
+            raise SubstrateFault(
+                op,
+                fault.kind.value,
+                fault.call_index,
+                transient=fault.transient,
+            )
 
     def _check_budget(self, op: str, num_pages: int) -> None:
         """Enforce the per-store page budget (capacity exhaustion)."""
@@ -265,7 +270,10 @@ class FaultySubstrate(Substrate):
                 # Nothing to be stale against yet: degrade to a read
                 # failure, the conservative interpretation.
             raise SubstrateFault(
-                "maps_snapshot", fault.kind.value, fault.call_index
+                "maps_snapshot",
+                fault.kind.value,
+                fault.call_index,
+                transient=fault.transient,
             )
         snapshot = self.inner.maps_snapshot(
             cost=cost, lane=lane, file_filter=file_filter

@@ -67,6 +67,35 @@ def default_kind(op: str) -> FaultKind:
     return DEFAULT_KINDS.get(op, FaultKind.ENOMEM)
 
 
+#: Default transience per fault kind.  Transient faults model conditions
+#: that clear on their own (a torn maps read, a racing rewire losing to
+#: ``mmap(MAP_FIXED)`` contention) and are worth retrying; permanent
+#: faults model exhausted resources (ENOMEM, store capacity) where a
+#: retry would just fail again.
+DEFAULT_TRANSIENT: dict[FaultKind, bool] = {
+    FaultKind.ENOMEM: False,
+    FaultKind.MAP_FIXED_FAIL: True,
+    FaultKind.UNMAP_FAIL: True,
+    FaultKind.CAPACITY: False,
+    FaultKind.MAPS_ERROR: True,
+    FaultKind.STALE_MAPS: True,
+}
+
+
+def default_transient(kind: FaultKind | str) -> bool:
+    """Whether faults of ``kind`` are retryable by default.
+
+    Unknown kinds (e.g. the derived ``torn_snapshot``) classify as
+    permanent — the conservative answer for a failure the taxonomy does
+    not know how to wait out.
+    """
+    try:
+        kind = FaultKind(kind)
+    except ValueError:
+        return False
+    return DEFAULT_TRANSIENT.get(kind, False)
+
+
 @dataclass
 class FaultRule:
     """One trigger: fail matching calls on a count or a probability.
@@ -91,6 +120,9 @@ class FaultRule:
     max_fires: int | None = None
     #: Matching calls to skip before a probability rule starts drawing.
     after: int = 0
+    #: Whether the injected fault is recoverable by retrying (None =
+    #: classify by the fired kind via :func:`default_transient`).
+    transient: bool | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.ops, str):
@@ -114,6 +146,12 @@ class FaultRule:
         """The fault kind this rule injects for operation ``op``."""
         return self.kind if self.kind is not None else default_kind(op)
 
+    def transient_for(self, op: str) -> bool:
+        """Whether this rule's fault on ``op`` is retryable."""
+        if self.transient is not None:
+            return self.transient
+        return default_transient(self.kind_for(op))
+
 
 @dataclass(frozen=True)
 class InjectedFault:
@@ -129,11 +167,14 @@ class InjectedFault:
     call_index: int
     #: 1-based count across all checked calls of any operation.
     global_index: int
+    #: Whether the fault is classified as recoverable by retrying.
+    transient: bool = False
 
     def describe(self) -> str:
         """One human-readable line."""
+        grade = "transient" if self.transient else "permanent"
         return (
-            f"rule {self.rule}: {self.kind.value} on {self.op} "
+            f"rule {self.rule}: {self.kind.value} ({grade}) on {self.op} "
             f"call #{self.call_index} (global #{self.global_index})"
         )
 
@@ -244,6 +285,7 @@ class FaultSchedule:
             kind=fired.rule.kind_for(op),
             call_index=call_index,
             global_index=self.total_calls,
+            transient=fired.rule.transient_for(op),
         )
         self.journal.append(fault)
         return fault

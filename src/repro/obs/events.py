@@ -35,6 +35,18 @@ TOPIC_MAPS_PARSE = "vm.maps_parse"
 #: Topic of injected (or real) substrate faults.
 TOPIC_FAULT = "substrate.fault"
 
+#: Topic of retry attempts against transient substrate faults.
+TOPIC_RETRY = "resilience.retry"
+
+#: Topic of quarantined views rebuilt and re-admitted.
+TOPIC_REBUILD = "resilience.rebuild"
+
+#: Topic of mapping-governor evictions and denials.
+TOPIC_GOVERNOR = "resilience.governor"
+
+#: Topic of layer health transitions (healthy/degraded/readonly).
+TOPIC_HEALTH = "resilience.health"
+
 #: Subscription wildcard: receive every topic.
 ALL_TOPICS = "*"
 

@@ -22,9 +22,13 @@ from ..vm.cost import MAIN_LANE, CostLedger
 from .events import (
     TOPIC_FAULT,
     TOPIC_FLUSH,
+    TOPIC_GOVERNOR,
+    TOPIC_HEALTH,
     TOPIC_MAPS_PARSE,
     TOPIC_MMAP,
     TOPIC_QUERY,
+    TOPIC_REBUILD,
+    TOPIC_RETRY,
     TOPIC_VIEW_LIFECYCLE,
     EventBus,
 )
@@ -40,6 +44,12 @@ if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
 
 #: Buckets for views-used-per-query (Figure 5 peaks below ten).
 VIEWS_USED_BUCKETS = tuple(float(n) for n in (1, 2, 3, 4, 6, 8, 12, 16, 32))
+
+#: Health-state severity exposed on the ``resilience_health`` gauge
+#: (kept in sync with :class:`repro.resilience.policy.HealthState`;
+#: duplicated here because the observer must not import the resilience
+#: package — the core imports the observer first).
+_HEALTH_SEVERITY = {"healthy": 0.0, "degraded": 1.0, "readonly": 2.0}
 
 
 class _NullSpan(Span):
@@ -95,6 +105,18 @@ class NullObserver:
 
     def on_statement(self, kind: str) -> None:
         """Hook: one SQL statement executed."""
+
+    def on_retry(self, op: str, kind: str, attempt: int) -> None:
+        """Hook: one retry attempt against a transient fault."""
+
+    def on_rebuild(self, lo: int, hi: int, pages: int) -> None:
+        """Hook: a quarantined view was rebuilt and re-admitted."""
+
+    def on_governor_eviction(self, lo: int, hi: int, pages: int) -> None:
+        """Hook: the mapping governor evicted a view for budget."""
+
+    def on_health(self, state: str) -> None:
+        """Hook: a layer's health state changed."""
 
 
 #: The shared disabled observer (observation off, the default).
@@ -170,6 +192,19 @@ class Observer(NullObserver):
         self._faults = m.counter(
             "substrate_faults_total", "Substrate faults by operation and kind"
         )
+        self._retries = m.counter(
+            "retries_total", "Retry attempts against transient faults"
+        )
+        self._rebuilds = m.counter(
+            "views_rebuilt_total", "Quarantined views rebuilt and re-admitted"
+        )
+        self._governor_evictions = m.counter(
+            "governor_evictions_total", "Views evicted to satisfy the budget"
+        )
+        self._health = m.gauge(
+            "resilience_health",
+            "Layer health severity (0=healthy, 1=degraded, 2=readonly)",
+        )
 
     def span(self, name: str, **attrs: object) -> ContextManager[Span]:
         """Open a trace span (see :meth:`repro.obs.span.Tracer.span`)."""
@@ -240,6 +275,26 @@ class Observer(NullObserver):
     def on_fault(self, op: str, kind: str) -> None:
         self._faults.inc(op=op, kind=kind)
         self.events.publish(TOPIC_FAULT, op=op, kind=kind)
+
+    # -- resilience hooks -----------------------------------------------
+
+    def on_retry(self, op: str, kind: str, attempt: int) -> None:
+        self._retries.inc(op=op, kind=kind)
+        self.events.publish(TOPIC_RETRY, op=op, kind=kind, attempt=attempt)
+
+    def on_rebuild(self, lo: int, hi: int, pages: int) -> None:
+        self._rebuilds.inc()
+        self.events.publish(TOPIC_REBUILD, lo=lo, hi=hi, pages=pages)
+
+    def on_governor_eviction(self, lo: int, hi: int, pages: int) -> None:
+        self._governor_evictions.inc()
+        self.events.publish(
+            TOPIC_GOVERNOR, action="evict", lo=lo, hi=hi, pages=pages
+        )
+
+    def on_health(self, state: str) -> None:
+        self._health.set(_HEALTH_SEVERITY.get(state, -1.0))
+        self.events.publish(TOPIC_HEALTH, state=state)
 
     # -- SQL hooks ------------------------------------------------------
 

@@ -1,0 +1,180 @@
+"""Per-layer resilience controller: retry, quarantine, governor, health.
+
+One :class:`ResilienceController` is attached to each
+:class:`~repro.core.adaptive.AdaptiveStorageLayer` when resilience is
+armed.  It owns the three mechanisms and runs the health state machine
+(``HEALTHY → DEGRADED → READONLY``) the facade exposes.  All of its
+bookkeeping is free of cost-ledger charges except for the work it
+actually performs (backoff waits, rebuild scans, eviction unmaps), so a
+controller that never engages leaves simulated time untouched.
+"""
+
+from __future__ import annotations
+
+from ..core.view_index import ViewIndex
+from ..core.view import VirtualView
+from ..obs.observer import NULL_OBSERVER, NullObserver
+from ..storage.column import PhysicalColumn
+from ..vm.cost import MAIN_LANE
+from .governor import MappingGovernor, mapping_runs
+from .policy import HealthState, ResilienceConfig
+from .quarantine import REBUILT, ViewRebuilder
+from .retry import RetryPolicy
+
+
+class ResilienceController:
+    """Wires retry, governor and rebuilder to one adaptive layer."""
+
+    def __init__(
+        self,
+        column: PhysicalColumn,
+        view_index: ViewIndex,
+        config: ResilienceConfig | None = None,
+        observer: NullObserver | None = None,
+    ) -> None:
+        self.config = config or ResilienceConfig()
+        self.column = column
+        self.view_index = view_index
+        self.observer = observer or NULL_OBSERVER
+        self.retry = RetryPolicy(
+            column.substrate, column.cost, self.config, observer=self.observer
+        )
+        self.governor = MappingGovernor(
+            self.config, column, view_index, observer=self.observer
+        )
+        self.rebuilder = ViewRebuilder(
+            self.config,
+            column,
+            view_index,
+            retry=self.retry,
+            governor=self.governor,
+            observer=self.observer,
+        )
+        self._consecutive_permanent = 0
+        self._readonly = False
+        self._last_health: HealthState | None = None
+
+    # -- the health state machine -----------------------------------------
+
+    def health(self) -> HealthState:
+        """The layer's current health (re-derived on every call).
+
+        READONLY latches on repeated permanent faults or an unreachable
+        budget; DEGRADED reflects recoverable trouble (quarantine
+        backlog, a recent permanent fault, budget watermark).  Queries
+        are correct in every state — the full view always exists.
+        """
+        if self._readonly or self.governor.budget_unreachable:
+            state = HealthState.READONLY
+        else:
+            utilization = self.governor.utilization()
+            degraded = (
+                bool(self.view_index.quarantine)
+                or self._consecutive_permanent > 0
+                or (
+                    utilization is not None
+                    and utilization >= self.config.degraded_watermark
+                )
+            )
+            state = HealthState.DEGRADED if degraded else HealthState.HEALTHY
+        if state is not self._last_health:
+            self._last_health = state
+            self.observer.on_health(state.value)
+        return state
+
+    def allow_candidate(self) -> bool:
+        """Whether the layer may build new candidate views right now."""
+        return self.health() is not HealthState.READONLY
+
+    def note_success(self) -> None:
+        """A candidate materialized cleanly; clear the fault streak."""
+        self._consecutive_permanent = 0
+
+    # -- fault intake ------------------------------------------------------
+
+    def on_candidate_fault(self, fault, lo: int, hi: int) -> None:
+        """A candidate was lost to a fault that retries could not heal.
+
+        Quarantines the extended range for rebuild; enough consecutive
+        losses latch the layer READONLY (adaptation keeps failing, stop
+        burning work on it until an explicit repair).
+        """
+        self._consecutive_permanent += 1
+        if self._consecutive_permanent >= self.config.readonly_fault_threshold:
+            self._readonly = True
+        self.view_index.quarantine_range(lo, hi, reason=str(fault.kind))
+
+    def on_views_dropped(self, views: list[VirtualView]) -> None:
+        """Maintenance dropped these views; queue them for rebuild."""
+        for view in views:
+            self.view_index.quarantine_range(
+                view.lo, view.hi, reason="maintenance"
+            )
+
+    # -- periodic and on-demand recovery -----------------------------------
+
+    def admit_candidate(
+        self, qualifying_fpages, lo: int, hi: int, lane: str = MAIN_LANE
+    ) -> bool:
+        """Governor admission for the candidate built alongside a query."""
+        runs = mapping_runs(qualifying_fpages)
+        if runs == 0:
+            return True
+        return self.governor.admit(runs, lo, hi, lane)
+
+    def maintenance_cycle(
+        self, lane: str = MAIN_LANE, check_semantics: bool = True
+    ) -> dict:
+        """Post-alignment housekeeping: enforce the budget, drain
+        quarantine (unless READONLY — then only an explicit repair
+        restarts rebuilds)."""
+        evicted = self.governor.enforce(lane)
+        rebuilt = 0
+        if not self._readonly:
+            rebuilt = self._drain_quarantine(lane, check_semantics)
+        self.health()
+        return {"evicted": evicted, "rebuilt": rebuilt}
+
+    def _drain_quarantine(self, lane: str, check_semantics: bool) -> int:
+        rebuilt = 0
+        for entry in list(self.view_index.quarantine):
+            if self.rebuilder.rebuild_entry(
+                entry, lane=lane, check_semantics=check_semantics
+            ) == REBUILT:
+                rebuilt += 1
+        return rebuilt
+
+    def repair(self, lane: str = MAIN_LANE) -> bool:
+        """On-demand recovery, allowed even when READONLY.
+
+        Enforces the budget, rebuilds every quarantined range, and —
+        when the quarantine list converges to empty — clears the
+        READONLY latch and the fault streak.  Returns True when the
+        quarantine is empty afterwards.
+        """
+        self.governor.enforce(lane)
+        self._drain_quarantine(lane, check_semantics=True)
+        converged = not self.view_index.quarantine
+        if converged:
+            self._readonly = False
+            self._consecutive_permanent = 0
+        self.health()
+        return converged
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict:
+        """Counters and state for the CLI / facade status surface."""
+        return {
+            "health": self.health().value,
+            "retries": self.retry.retries,
+            "retries_recovered": self.retry.recovered,
+            "retries_exhausted": self.retry.exhausted,
+            "views_rebuilt": self.rebuilder.rebuilt,
+            "rebuilds_abandoned": self.rebuilder.abandoned,
+            "quarantined": len(self.view_index.quarantine),
+            "governor_evictions": self.governor.evictions,
+            "governor_denials": self.governor.denials,
+            "mapping_budget": self.governor.budget,
+            "maps_lines": self.governor.line_count(),
+        }

@@ -1,0 +1,157 @@
+"""The mapping governor: a budget on maps-file lines per column.
+
+Every partial view multiplies VMAs — each coalesced run of mapped pages
+is one maps-file line — so an unbounded view catalog eventually trips
+the kernel's ``vm.max_map_count`` analog.  :class:`MappingGovernor`
+enforces a configurable budget using the substrate's existing
+``maps_line_count`` source of truth (the simulated VMA walk, or the
+kernel's real ``/proc/self/maps`` on the native backend):
+
+* **admission control** — before a candidate (or rebuild) materializes,
+  its projected line footprint is checked against the budget; the
+  governor first evicts less useful views to make headroom and denies
+  the admission only when eviction cannot free enough.
+* **cost-aware eviction** — victims are the partial views with the
+  lowest utility (:func:`repro.core.stats.view_utility`: hit count ×
+  page count — how much scan work the view saves, weighted by how often
+  it is asked to), ties broken LRU.
+* **enforcement** — after maintenance (page adds can split VMAs), the
+  budget is re-checked and enforced by eviction.
+
+The full view is never evicted, so every query retains its full-scan
+fallback regardless of how tight the budget is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.stats import ViewEvent, view_utility
+from ..core.view import VirtualView
+from ..core.view_index import ViewIndex
+from ..obs.observer import NULL_OBSERVER, NullObserver
+from ..storage.column import PhysicalColumn
+from ..vm.cost import MAIN_LANE
+from .policy import ResilienceConfig
+
+
+def mapping_runs(fpages: np.ndarray) -> int:
+    """Projected maps-line footprint of mapping ``fpages`` coalesced.
+
+    Each maximal run of consecutive physical pages becomes one
+    ``mmap(MAP_FIXED)`` call and hence (at most) one maps-file line.
+    """
+    fpages = np.asarray(fpages, dtype=np.int64)
+    if fpages.size == 0:
+        return 0
+    return int(np.count_nonzero(np.diff(fpages) != 1) + 1)
+
+
+class MappingGovernor:
+    """Admission control and eviction against a maps-line budget."""
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        column: PhysicalColumn,
+        view_index: ViewIndex,
+        observer: NullObserver | None = None,
+    ) -> None:
+        self.config = config
+        self.column = column
+        self.view_index = view_index
+        self.observer = observer or NULL_OBSERVER
+        self.substrate = column.substrate
+        self._path = self.substrate.file_map_path(column.file)
+        #: Views evicted to satisfy the budget.
+        self.evictions = 0
+        #: Candidate admissions denied (budget unreachable by eviction).
+        self.denials = 0
+        #: Latched when even the empty partial set exceeds the budget
+        #: (budget below the full view's own footprint).
+        self.budget_unreachable = False
+
+    @property
+    def budget(self) -> int | None:
+        """The configured maps-line budget (None = governing disabled)."""
+        return self.config.mapping_budget
+
+    def line_count(self) -> int:
+        """Current maps lines attributed to the column's backing file.
+
+        Delegates to the substrate — the same count the kernel (or the
+        simulated VMA walk) reports; never charged to the cost ledger.
+        """
+        return self.substrate.maps_line_count(self._path)
+
+    def utilization(self) -> float | None:
+        """Budget utilization in [0, ∞), or None without a budget."""
+        if self.budget is None:
+            return None
+        return self.line_count() / self.budget
+
+    # -- eviction ---------------------------------------------------------
+
+    def _victim(self) -> VirtualView | None:
+        """The least useful partial view (lowest utility, then LRU)."""
+        partials = self.view_index.partial_views
+        if not partials:
+            return None
+        vi = self.view_index
+        return min(
+            partials,
+            key=lambda v: (
+                view_utility(vi.use_count(v), v.num_pages),
+                vi.last_used(v),
+            ),
+        )
+
+    def _evict_one(self, lane: str = MAIN_LANE) -> bool:
+        victim = self._victim()
+        if victim is None:
+            return False
+        pages = victim.num_pages
+        self.view_index.record_decision(victim, ViewEvent.EVICTED_BUDGET)
+        self.view_index.drop(victim, lane)
+        self.evictions += 1
+        self.observer.on_governor_eviction(victim.lo, victim.hi, pages)
+        return True
+
+    # -- the two control points -------------------------------------------
+
+    def admit(
+        self, estimated_lines: int, lo: int, hi: int, lane: str = MAIN_LANE
+    ) -> bool:
+        """Whether a view with ``estimated_lines`` maps lines may be built.
+
+        Evicts least-useful views until the projection fits; denies (and
+        journals the denial) when no amount of eviction can make room.
+        """
+        if self.budget is None:
+            return True
+        while self.line_count() + estimated_lines > self.budget:
+            if not self._evict_one(lane):
+                self.denials += 1
+                self.view_index.record_range_event(
+                    ViewEvent.DENIED_BUDGET, lo, hi
+                )
+                return False
+        return True
+
+    def enforce(self, lane: str = MAIN_LANE) -> int:
+        """Evict until the line count is back under budget.
+
+        Returns the number of evictions.  Latches
+        :attr:`budget_unreachable` when the count still exceeds the
+        budget with zero partial views left — the budget lies below the
+        full view's own footprint, which only a config change can fix.
+        """
+        if self.budget is None:
+            return 0
+        evicted = 0
+        while self.line_count() > self.budget:
+            if not self._evict_one(lane):
+                self.budget_unreachable = True
+                break
+            evicted += 1
+        return evicted

@@ -348,6 +348,17 @@ class CostModel:
         self.ledger.charge(n * self.params.soft_fault_ns, lane)
         self.ledger.count("soft_faults", n)
 
+    def backoff_wait(self, ns: float, lane: str = MAIN_LANE) -> None:
+        """Charge one retry backoff sleep of ``ns`` simulated nanoseconds.
+
+        The resilience layer's retries wait in *simulated* time so a
+        faulted-and-retried run stays replayable: the backoff shows up
+        on the ledger like any other charged operation instead of
+        perturbing wall-clock behaviour.
+        """
+        self.ledger.charge(ns, lane)
+        self.ledger.count("backoff_waits")
+
     # -- update / maintenance costs ---------------------------------------
 
     def value_write(self, n: int = 1, lane: str = MAIN_LANE) -> None:

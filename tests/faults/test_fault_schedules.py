@@ -31,6 +31,7 @@ from repro.faults import (
     FaultySubstrate,
     SubstrateFault,
 )
+from repro.resilience import ResilienceConfig
 from repro.seeds import derive_seed
 from repro.substrate import make_substrate
 
@@ -80,6 +81,30 @@ def _heavy_schedule(seed: int) -> FaultSchedule:
     )
 
 
+def _transient_schedule(seed: int) -> FaultSchedule:
+    """A recovery-oriented program: mostly transient faults the retry
+    engine can heal, plus permanent rules to force quarantines (a lost
+    candidate here, a dropped-on-maintenance view there)."""
+    return FaultSchedule(
+        [
+            FaultRule(ops="map_fixed", probability=0.12),
+            FaultRule(
+                ops=("reserve", "map_file"), probability=0.05, transient=True
+            ),
+            FaultRule(ops="unmap_slot", probability=0.06),
+            FaultRule(ops="maps_snapshot", probability=0.10),
+            FaultRule(
+                ops="maps_snapshot",
+                probability=0.06,
+                kind=FaultKind.STALE_MAPS,
+            ),
+            FaultRule(ops="map_fixed", probability=0.06, transient=False),
+            FaultRule(ops="maps_snapshot", probability=0.08, transient=False),
+        ],
+        seed=seed,
+    )
+
+
 def _range(rng: np.random.Generator) -> tuple[int, int]:
     width = int(rng.integers(DOMAIN // 100, DOMAIN // 6))
     lo = int(rng.integers(0, DOMAIN - width))
@@ -114,11 +139,17 @@ def _run_session(
     schedule: FaultSchedule | None,
     data_seed: int,
     backend: str = "simulated",
+    resilience: ResilienceConfig | None = None,
+    status_out: dict | None = None,
 ) -> int:
     """Run one audited faulted session against the oracle.
 
     Returns the number of faults that fired.  Asserts, after every
     step, that the auditor passes and query results match the oracle.
+    With ``resilience`` armed, the session additionally verifies the
+    recovery oracle at the end: a fault-free repair must converge to an
+    empty quarantine, pass the audit, and answer every query of the
+    session identically to the fault-free serial oracle.
     """
     rng = np.random.default_rng(data_seed)
     values = rng.integers(0, DOMAIN, size=NUM_ROWS, dtype=np.int64)
@@ -126,7 +157,9 @@ def _run_session(
     substrate = FaultySubstrate(make_substrate(backend))
 
     with AdaptiveDatabase(
-        config=AdaptiveConfig(background_mapping=False), backend=substrate
+        config=AdaptiveConfig(background_mapping=False),
+        backend=substrate,
+        resilience=resilience,
     ) as db:
         db.create_table("t", {"x": values})
         layer = db.layer("t", "x")
@@ -183,7 +216,31 @@ def _run_session(
                     else ""
                 )
             )
-        return substrate.schedule.faults_fired if substrate.schedule else 0
+
+        fired = substrate.schedule.faults_fired if substrate.schedule else 0
+
+        if resilience is not None and resilience.enabled:
+            # Recovery oracle: with faults disarmed, a repair converges
+            # (zero quarantined views), the audit is clean, and every
+            # query of the session matches the fault-free oracle again.
+            substrate.schedule = None
+            assert db.repair(), "end-of-session repair did not converge"
+            layer = db.layer("t", "x")
+            assert not layer.view_index.quarantine
+            audit = db.audit()
+            assert audit.ok, f"post-repair audit failed\n{audit.render()}"
+            for op in ops:
+                if op[0] != "query":
+                    continue
+                _, lo, hi = op
+                result = db.query("t", "x", lo, hi)
+                want_rows, want_vals = oracle.query(lo, hi)
+                order = np.argsort(result.rowids)
+                assert np.array_equal(result.rowids[order], want_rows)
+                assert np.array_equal(result.values[order], want_vals)
+            if status_out is not None:
+                status_out.update(db.resilience_status())
+        return fired
 
 
 OPS_STRATEGY = st.lists(
@@ -271,6 +328,84 @@ class TestScheduleSweep:
         assert journals[0] == journals[1]
 
 
+class TestRecoverySweep:
+    """Seeded transient-heavy schedules must heal back to the oracle."""
+
+    def test_bulk_transient_recovery(self):
+        """Every transient-heavy schedule converges: repair empties the
+        quarantine and the healed layer answers like the oracle — and
+        the sweep as a whole actually exercised retry and rebuild."""
+        count = max(FUZZ_SCHEDULES // 4, 10)
+        total_fired = 0
+        recovered = 0
+        rebuilt = 0
+        for i in range(count):
+            seed = derive_seed(10_000 + i)
+            rng = np.random.default_rng(seed)
+            ops = _generated_ops(rng, 10)
+            status: dict = {}
+            total_fired += _run_session(
+                ops,
+                _transient_schedule(seed),
+                data_seed=seed,
+                backend=FUZZ_BACKEND,
+                resilience=ResilienceConfig(seed=seed),
+                status_out=status,
+            )
+            for layer_status in status.get("layers", {}).values():
+                recovered += layer_status["retries_recovered"]
+                rebuilt += layer_status["views_rebuilt"]
+        assert total_fired >= count // 4, "transient schedules too tame"
+        assert recovered > 0, "no transient fault was ever retried to success"
+        assert rebuilt > 0, "no quarantined view was ever rebuilt"
+
+    def test_recovery_is_deterministic(self):
+        """Replaying one armed sweep entry fires the identical journal."""
+        seed = derive_seed(10_007)
+        journals = []
+        for _ in range(2):
+            rng = np.random.default_rng(seed)
+            ops = _generated_ops(rng, 10)
+            schedule = _transient_schedule(seed)
+            _run_session(
+                ops,
+                schedule,
+                data_seed=seed,
+                resilience=ResilienceConfig(seed=seed),
+            )
+            journals.append(
+                [(f.op, f.kind, f.call_index, f.rule) for f in schedule.journal]
+            )
+        assert journals[0] == journals[1]
+
+
+def _ledger_of(substrate, ops, seed, resilience=None):
+    """The cost-ledger snapshot of one fixed session on ``substrate``."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, DOMAIN, size=NUM_ROWS, dtype=np.int64)
+    oracle = Oracle(values)
+    with AdaptiveDatabase(
+        config=AdaptiveConfig(background_mapping=False),
+        backend=substrate,
+        resilience=resilience,
+    ) as db:
+        db.create_table("t", {"x": values})
+        for op in ops:
+            if op[0] == "query":
+                db.query("t", "x", op[1], op[2])
+            elif op[0] == "update":
+                if not oracle.alive[op[1]]:
+                    continue
+                db.update("t", "x", op[1], op[2])
+                oracle.update(op[1], op[2])
+            elif op[0] == "flush":
+                db.flush_updates("t", "x")
+            elif op[0] == "delete":
+                db.delete("t", "x", op[1], op[2])
+                oracle.delete(op[1], op[2])
+        return db.cost.ledger.snapshot()
+
+
 @pytest.mark.skipif(
     FUZZ_BACKEND != "simulated", reason="cost model is simulated-only"
 )
@@ -282,30 +417,41 @@ class TestCostBitIdentity:
         rng = np.random.default_rng(seed)
         ops = _generated_ops(rng, 12)
 
-        def ledger_of(substrate):
-            rng = np.random.default_rng(seed)
-            values = rng.integers(0, DOMAIN, size=NUM_ROWS, dtype=np.int64)
-            oracle = Oracle(values)
-            with AdaptiveDatabase(
-                config=AdaptiveConfig(background_mapping=False),
-                backend=substrate,
-            ) as db:
-                db.create_table("t", {"x": values})
-                for op in ops:
-                    if op[0] == "query":
-                        db.query("t", "x", op[1], op[2])
-                    elif op[0] == "update":
-                        if not oracle.alive[op[1]]:
-                            continue
-                        db.update("t", "x", op[1], op[2])
-                        oracle.update(op[1], op[2])
-                    elif op[0] == "flush":
-                        db.flush_updates("t", "x")
-                    elif op[0] == "delete":
-                        db.delete("t", "x", op[1], op[2])
-                        oracle.delete(op[1], op[2])
-                return db.cost.ledger.snapshot()
-
-        bare = ledger_of(make_substrate("simulated"))
-        wrapped = ledger_of(FaultySubstrate(make_substrate("simulated")))
+        bare = _ledger_of(make_substrate("simulated"), ops, seed)
+        wrapped = _ledger_of(
+            FaultySubstrate(make_substrate("simulated")), ops, seed
+        )
         assert wrapped == bare
+
+    def test_disabled_resilience_is_bit_identical(self):
+        """A constructed-but-disabled resilience config changes nothing:
+        the ledger equals the bare run exactly."""
+        seed = derive_seed(3)
+        rng = np.random.default_rng(seed)
+        ops = _generated_ops(rng, 12)
+
+        bare = _ledger_of(make_substrate("simulated"), ops, seed)
+        disabled = _ledger_of(
+            make_substrate("simulated"),
+            ops,
+            seed,
+            resilience=ResilienceConfig(enabled=False),
+        )
+        assert disabled == bare
+
+    def test_armed_faultless_resilience_is_free(self):
+        """Armed resilience with no faults and no budget never charges:
+        retry wrappers, health checks and governor probes are all free,
+        so the ledger is bit-identical to the bare run."""
+        seed = derive_seed(3)
+        rng = np.random.default_rng(seed)
+        ops = _generated_ops(rng, 12)
+
+        bare = _ledger_of(make_substrate("simulated"), ops, seed)
+        armed = _ledger_of(
+            make_substrate("simulated"),
+            ops,
+            seed,
+            resilience=ResilienceConfig(seed=seed),
+        )
+        assert armed == bare

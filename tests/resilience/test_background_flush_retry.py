@@ -1,0 +1,110 @@
+"""Regression tests: BackgroundMapper.flush routes failures through
+the retry policy (satellite of the resilience PR).
+
+The mapping thread parks faulted requests instead of crashing; flush
+then heals transient faults via RetryPolicy.resume before surfacing
+anything.  Without a policy the first parked fault re-raises, exactly
+like the pre-resilience behaviour.
+"""
+
+import numpy as np
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.core.stats import ViewEvent
+from repro.faults import FaultRule, FaultSchedule, FaultySubstrate
+from repro.resilience import ResilienceConfig
+from repro.substrate import make_substrate
+from repro.vm.constants import VALUES_PER_PAGE
+
+NUM_PAGES = 16
+NUM_ROWS = NUM_PAGES * VALUES_PER_PAGE
+
+
+def _db(resilience, coalesce=True):
+    substrate = FaultySubstrate(make_substrate("simulated"))
+    values = np.arange(NUM_ROWS, dtype=np.int64)
+    db = AdaptiveDatabase(
+        config=AdaptiveConfig(
+            background_mapping=True, coalesce_mmap=coalesce
+        ),
+        backend=substrate,
+        resilience=resilience,
+    )
+    db.create_table("t", {"x": values})
+    db.layer("t", "x")
+    return db, substrate
+
+
+def _check(db, lo, hi):
+    res = db.query("t", "x", lo, hi)
+    expected = np.arange(lo, min(hi, NUM_ROWS - 1) + 1, dtype=np.int64)
+    assert np.array_equal(np.sort(res.rowids), expected)
+    return res
+
+
+class TestBackgroundFlushRetry:
+    def test_flush_heals_transient_mapper_fault(self):
+        db, substrate = _db(ResilienceConfig(seed=0))
+        with db:
+            substrate.schedule = FaultSchedule(
+                [FaultRule(ops="map_fixed", nth=1)], seed=0
+            )
+            res = _check(db, 100, 900)
+            assert res.stats.view_event is ViewEvent.INSERTED
+            status = db.resilience_status()["layers"]["t.x"]
+            assert status["retries_recovered"] == 1
+            assert status["quarantined"] == 0
+            assert db.audit().ok
+
+    def test_flush_heals_multiple_parked_faults(self):
+        """Several requests of one view can fault before flush runs;
+        every transient one is healed (uncoalesced creation issues one
+        request per page, so one flush parks several failures)."""
+        db, substrate = _db(ResilienceConfig(seed=0), coalesce=False)
+        with db:
+            substrate.schedule = FaultSchedule(
+                [
+                    FaultRule(ops="map_fixed", nth=1),
+                    FaultRule(ops="map_fixed", nth=2),
+                ],
+                seed=0,
+            )
+            lo = 2 * VALUES_PER_PAGE
+            res = _check(db, lo, lo + 3 * VALUES_PER_PAGE - 1)
+            assert res.stats.view_event is ViewEvent.INSERTED
+            status = db.resilience_status()["layers"]["t.x"]
+            assert status["retries_recovered"] == 2
+            assert db.audit().ok
+
+    def test_disarmed_flush_still_surfaces_the_fault(self):
+        """Without resilience the parked fault re-raises from flush and
+        the candidate is rolled back — the pre-resilience contract."""
+        db, substrate = _db(None)
+        with db:
+            substrate.schedule = FaultSchedule(
+                [FaultRule(ops="map_fixed", nth=1)], seed=0
+            )
+            res = _check(db, 100, 900)
+            assert res.stats.view_event is ViewEvent.FAULTED
+            assert db.layer("t", "x").view_index.num_partials == 0
+            assert db.audit().ok
+
+    def test_permanent_mapper_fault_is_not_retried(self):
+        """Armed or not, a permanent fault parked by the mapper thread
+        surfaces from flush; the resilience layer quarantines the range
+        instead of retrying it."""
+        db, substrate = _db(ResilienceConfig(seed=0))
+        with db:
+            substrate.schedule = FaultSchedule(
+                [FaultRule(ops="map_fixed", nth=1, transient=False)],
+                seed=0,
+            )
+            res = _check(db, 100, 900)
+            assert res.stats.view_event is ViewEvent.FAULTED
+            status = db.resilience_status()["layers"]["t.x"]
+            assert status["retries"] == 0
+            assert status["quarantined"] == 1
+            substrate.schedule = None
+            assert db.repair()
+            assert db.audit().ok

@@ -1,0 +1,72 @@
+"""CLI tests for the ``audit --repair`` and ``resilience`` verbs."""
+
+import re
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_audit_repair_flag(self):
+        args = build_parser().parse_args(
+            ["audit", "--faults", "transient", "--repair"]
+        )
+        assert args.command == "audit"
+        assert args.faults == "transient"
+        assert args.repair is True
+
+    def test_resilience_defaults(self):
+        args = build_parser().parse_args(["resilience"])
+        assert args.command == "resilience"
+        assert args.faults == "transient"
+        assert args.budget is None
+
+
+class TestMain:
+    def test_audit_repair_converges(self, capsys):
+        code = main(
+            [
+                "audit",
+                "--pages",
+                "32",
+                "--queries",
+                "16",
+                "--faults",
+                "transient",
+                "--repair",
+                "--seed",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repair" in out
+        assert "converged" in out
+
+    def test_resilience_verb_prints_counters(self, capsys):
+        code = main(
+            ["resilience", "--pages", "32", "--queries", "16", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "retries" in out
+        assert "health" in out
+
+    def test_resilience_with_budget(self, capsys):
+        code = main(
+            [
+                "resilience",
+                "--pages",
+                "32",
+                "--queries",
+                "16",
+                "--seed",
+                "0",
+                "--budget",
+                "24",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        match = re.search(r"(\d+) maps lines / budget (\d+)", out)
+        assert match is not None
+        assert int(match.group(1)) <= int(match.group(2)) == 24

@@ -1,0 +1,160 @@
+"""Tests for the mapping-budget governor."""
+
+import numpy as np
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.core.stats import ViewEvent
+from repro.resilience import (
+    HealthState,
+    MappingGovernor,
+    ResilienceConfig,
+    mapping_runs,
+)
+from repro.substrate import make_substrate
+from repro.vm.constants import VALUES_PER_PAGE
+
+NUM_PAGES = 32
+NUM_ROWS = NUM_PAGES * VALUES_PER_PAGE
+
+
+def _make_db(resilience, backend="simulated"):
+    values = np.arange(NUM_ROWS, dtype=np.int64)
+    db = AdaptiveDatabase(
+        config=AdaptiveConfig(background_mapping=False),
+        backend=make_substrate(backend),
+        resilience=resilience,
+    )
+    db.create_table("t", {"x": values})
+    return db
+
+
+def _check(db, lo, hi):
+    """Query [lo, hi] and verify against the arange oracle."""
+    res = db.query("t", "x", lo, hi)
+    expected = np.arange(lo, min(hi, NUM_ROWS - 1) + 1, dtype=np.int64)
+    assert np.array_equal(np.sort(res.rowids), expected)
+    assert np.array_equal(np.sort(res.values), expected)
+    return res
+
+
+def _page_range(fpage, npages=1):
+    """A value range that qualifies exactly ``npages`` starting at ``fpage``."""
+    lo = fpage * VALUES_PER_PAGE
+    return lo, lo + npages * VALUES_PER_PAGE - 1
+
+
+class TestMappingRuns:
+    def test_empty_is_zero(self):
+        assert mapping_runs(np.array([], dtype=np.int64)) == 0
+
+    def test_contiguous_is_one_run(self):
+        assert mapping_runs(np.array([3, 4, 5, 6])) == 1
+
+    def test_gaps_split_runs(self):
+        assert mapping_runs(np.array([1, 2, 5, 6, 9])) == 3
+
+    def test_singletons(self):
+        assert mapping_runs(np.array([7])) == 1
+        assert mapping_runs(np.array([1, 3, 5])) == 3
+
+
+class TestBudgetEnforcement:
+    def test_line_count_stays_under_budget(self):
+        """With a budget the maps-line count never exceeds it, and every
+        query still returns oracle-correct results."""
+        budget = 6
+        db = _make_db(ResilienceConfig(mapping_budget=budget, seed=0))
+        with db:
+            rng = np.random.default_rng(0)
+            for _ in range(24):
+                fpage = int(rng.integers(0, NUM_PAGES - 2))
+                npages = int(rng.integers(1, 3))
+                _check(db, *_page_range(fpage, npages))
+                status = db.resilience_status()["layers"]["t.x"]
+                assert status["maps_lines"] <= budget
+            assert db.audit().ok
+
+    def test_evictions_journal_and_count(self):
+        """Evicted views leave EVICTED_BUDGET records and bump counters."""
+        budget = 4
+        db = _make_db(ResilienceConfig(mapping_budget=budget, seed=0))
+        with db:
+            # Disjoint single-page views: each adds one maps line on top
+            # of the full view's, so the budget forces evictions.
+            for fpage in range(0, 12, 2):
+                _check(db, *_page_range(fpage))
+            status = db.resilience_status()["layers"]["t.x"]
+            assert status["governor_evictions"] > 0
+            layer = db.layer("t", "x")
+            evicted = [
+                e
+                for e in layer.view_index.history
+                if e.event is ViewEvent.EVICTED_BUDGET
+            ]
+            assert len(evicted) == status["governor_evictions"]
+            assert db.audit().ok
+
+    def test_denial_when_nothing_left_to_evict(self):
+        """A budget with zero headroom over the full view denies every
+        candidate — journaled, counted, and queries stay correct."""
+        db = _make_db(ResilienceConfig(mapping_budget=1, seed=0))
+        with db:
+            res = _check(db, *_page_range(2))
+            assert res.stats.view_event is ViewEvent.DENIED_BUDGET
+            layer = db.layer("t", "x")
+            assert layer.view_index.num_partials == 0
+            status = db.resilience_status()["layers"]["t.x"]
+            assert status["governor_denials"] >= 1
+            assert any(
+                e.event is ViewEvent.DENIED_BUDGET
+                for e in layer.view_index.history
+            )
+            assert db.audit().ok
+
+    def test_unreachable_budget_turns_readonly(self):
+        """When eviction cannot get the line count under budget (the
+        budget lies below the full view's own footprint) the governor
+        latches unreachable and the layer turns READONLY; full-scan
+        answers stay correct."""
+        db = _make_db(ResilienceConfig(mapping_budget=1, seed=0))
+        with db:
+            _check(db, *_page_range(1))
+            governor = db.layer("t", "x").resilience.governor
+            # Model a full view whose footprint alone exceeds the budget.
+            governor.line_count = lambda: governor.budget + 1
+            db.update("t", "x", 10, 10)
+            db.flush_updates("t", "x")
+            assert governor.budget_unreachable
+            assert db.health() is HealthState.READONLY
+            # READONLY stops candidate investment, not answers.
+            res = _check(db, *_page_range(3, 2))
+            assert res.stats.view_event is ViewEvent.NONE
+            assert db.audit().ok
+
+
+class TestVictimSelection:
+    def test_eviction_prefers_lowest_utility_then_lru(self):
+        """The governor evicts the least-useful view first (hit count ×
+        pages, ties LRU), never the full view."""
+        db = _make_db(ResilienceConfig(seed=0))  # no budget while building
+        with db:
+            for fpage in (0, 4, 8):
+                _check(db, *_page_range(fpage))
+            # Boost two views' utility; leave the view over page 4 cold.
+            for _ in range(3):
+                _check(db, *_page_range(0))
+                _check(db, *_page_range(8))
+            layer = db.layer("t", "x")
+            assert layer.view_index.num_partials == 3
+
+            governor = MappingGovernor(
+                ResilienceConfig(mapping_budget=2),
+                layer.column,
+                layer.view_index,
+            )
+            assert governor.enforce() > 0
+            survivors = {v.lo for v in layer.view_index.partial_views}
+            cold_lo = _page_range(4)[0]
+            assert cold_lo not in survivors
+            assert db.audit().ok

@@ -1,0 +1,168 @@
+"""Facade-level resilience: health state machine, metrics, status."""
+
+import numpy as np
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.core.stats import ViewEvent
+from repro.faults import FaultRule, FaultSchedule, FaultySubstrate
+from repro.resilience import HealthState, ResilienceConfig, worst_health
+from repro.substrate import make_substrate
+from repro.vm.constants import VALUES_PER_PAGE
+
+NUM_PAGES = 16
+NUM_ROWS = NUM_PAGES * VALUES_PER_PAGE
+
+
+def _armed_db(resilience=None, observe=False):
+    substrate = FaultySubstrate(make_substrate("simulated"))
+    values = np.arange(NUM_ROWS, dtype=np.int64)
+    db = AdaptiveDatabase(
+        config=AdaptiveConfig(background_mapping=False),
+        backend=substrate,
+        observe=observe,
+        resilience=resilience or ResilienceConfig(seed=0),
+    )
+    db.create_table("t", {"x": values})
+    db.layer("t", "x")
+    return db, substrate
+
+
+def _check(db, lo, hi):
+    res = db.query("t", "x", lo, hi)
+    expected = np.arange(lo, min(hi, NUM_ROWS - 1) + 1, dtype=np.int64)
+    assert np.array_equal(np.sort(res.rowids), expected)
+    return res
+
+
+def _page_range(fpage, npages=1):
+    lo = fpage * VALUES_PER_PAGE
+    return lo, lo + npages * VALUES_PER_PAGE - 1
+
+
+class TestWorstHealth:
+    def test_empty_is_healthy(self):
+        assert worst_health([]) is HealthState.HEALTHY
+
+    def test_severity_ordering(self):
+        states = [HealthState.HEALTHY, HealthState.DEGRADED]
+        assert worst_health(states) is HealthState.DEGRADED
+        states.append(HealthState.READONLY)
+        assert worst_health(states) is HealthState.READONLY
+
+
+class TestHealthStateMachine:
+    def test_starts_healthy(self):
+        db, _ = _armed_db()
+        with db:
+            assert db.health() is HealthState.HEALTHY
+
+    def test_disarmed_database_is_always_healthy(self):
+        substrate = make_substrate("simulated")
+        db = AdaptiveDatabase(
+            config=AdaptiveConfig(background_mapping=False),
+            backend=substrate,
+        )
+        with db:
+            db.create_table("t", {"x": np.arange(NUM_ROWS, dtype=np.int64)})
+            db.query("t", "x", 10, 50)
+            assert db.health() is HealthState.HEALTHY
+            assert db.repair() is True
+            assert db.resilience_status()["layers"] == {}
+
+    def test_permanent_fault_degrades_then_repair_heals(self):
+        db, substrate = _armed_db()
+        with db:
+            substrate.schedule = FaultSchedule(
+                [FaultRule(ops="map_fixed", nth=1, transient=False)], seed=0
+            )
+            _check(db, *_page_range(2))
+            assert db.health() is HealthState.DEGRADED
+            substrate.schedule = None
+            assert db.repair()
+            assert db.health() is HealthState.HEALTHY
+            assert db.audit().ok
+
+    def test_fault_streak_latches_readonly(self):
+        """Consecutive permanent candidate losses flip the layer
+        READONLY: answers stay correct, candidate work stops, and an
+        explicit repair restores HEALTHY."""
+        db, substrate = _armed_db(
+            ResilienceConfig(readonly_fault_threshold=2, seed=0)
+        )
+        with db:
+            substrate.schedule = FaultSchedule(
+                [
+                    FaultRule(
+                        ops="map_fixed", probability=1.0, transient=False
+                    )
+                ],
+                seed=0,
+            )
+            _check(db, *_page_range(1))
+            assert db.health() is HealthState.DEGRADED
+            _check(db, *_page_range(4))
+            assert db.health() is HealthState.READONLY
+
+            # READONLY: no candidate is even attempted, answers correct.
+            res = _check(db, *_page_range(7))
+            assert res.stats.view_event is ViewEvent.NONE
+
+            substrate.schedule = None
+            assert db.repair()
+            assert db.health() is HealthState.HEALTHY
+            status = db.resilience_status()["layers"]["t.x"]
+            assert status["views_rebuilt"] >= 2
+            assert db.audit().ok
+
+
+class TestObservability:
+    def test_resilience_metrics_and_gauge(self):
+        db, substrate = _armed_db(observe=True)
+        with db:
+            substrate.schedule = FaultSchedule(
+                [
+                    FaultRule(ops="map_fixed", nth=1),  # transient
+                    FaultRule(ops="map_fixed", nth=2, transient=False),
+                ],
+                seed=0,
+            )
+            _check(db, *_page_range(2))  # healed by one retry
+            _check(db, *_page_range(5))  # lost, quarantined
+            substrate.schedule = None
+            assert db.repair()
+
+            metrics = db.observer.metrics
+            retries = metrics.counter("retries_total")
+            assert sum(v for _, v in retries.samples()) >= 1
+            rebuilds = metrics.counter("views_rebuilt_total")
+            assert rebuilds.value() >= 1
+            health = metrics.gauge("resilience_health")
+            assert health.value() == 0.0  # back to healthy after repair
+            assert db.audit().ok
+
+
+class TestStatusSurface:
+    def test_status_shape(self):
+        db, _ = _armed_db()
+        with db:
+            _check(db, *_page_range(3))
+            status = db.resilience_status()
+            assert status["health"] == "healthy"
+            layer = status["layers"]["t.x"]
+            for key in (
+                "health",
+                "retries",
+                "retries_recovered",
+                "retries_exhausted",
+                "views_rebuilt",
+                "rebuilds_abandoned",
+                "quarantined",
+                "governor_evictions",
+                "governor_denials",
+                "mapping_budget",
+                "maps_lines",
+            ):
+                assert key in layer
+            assert layer["mapping_budget"] is None
+            assert layer["maps_lines"] >= 1

@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic retry engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.core.stats import ViewEvent
+from repro.faults import FaultRule, FaultSchedule, FaultySubstrate, SubstrateFault
+from repro.resilience import ResilienceConfig, RetryPolicy
+from repro.substrate import make_substrate
+from repro.vm.cost import CostModel
+
+NUM_ROWS = 8 * 512
+
+
+def _db(schedule, resilience):
+    substrate = FaultySubstrate(make_substrate("simulated"))
+    values = np.arange(NUM_ROWS, dtype=np.int64)
+    db = AdaptiveDatabase(
+        config=AdaptiveConfig(background_mapping=False),
+        backend=substrate,
+        resilience=resilience,
+    )
+    db.create_table("t", {"x": values})
+    db.layer("t", "x")  # full view materializes fault-free
+    substrate.schedule = schedule
+    return db, substrate
+
+
+class TestRetryPolicy:
+    def test_transient_fault_is_healed(self):
+        """A single transient map_fixed fault costs a retry, not a view."""
+        schedule = FaultSchedule(
+            [FaultRule(ops="map_fixed", nth=1)], seed=0
+        )
+        db, _ = _db(schedule, ResilienceConfig(seed=0))
+        with db:
+            result = db.query("t", "x", 100, 600)
+            assert result.stats.view_event is ViewEvent.INSERTED
+            status = db.resilience_status()["layers"]["t.x"]
+            assert status["retries"] == 1
+            assert status["retries_recovered"] == 1
+            assert status["quarantined"] == 0
+            assert db.audit().ok
+
+    def test_disarmed_layer_still_drops_the_view(self):
+        """Without resilience the same fault still costs the candidate."""
+        schedule = FaultSchedule(
+            [FaultRule(ops="map_fixed", nth=1)], seed=0
+        )
+        db, _ = _db(schedule, None)
+        with db:
+            result = db.query("t", "x", 100, 600)
+            assert result.stats.view_event is ViewEvent.FAULTED
+            assert db.audit().ok
+
+    def test_permanent_fault_is_not_retried(self):
+        """Permanent faults surface immediately, with zero attempts."""
+        policy = RetryPolicy(make_substrate("simulated"), CostModel())
+        fault = SubstrateFault("map_fixed", "enomem", transient=False)
+
+        def fn():
+            raise fault
+
+        with pytest.raises(SubstrateFault):
+            policy.run("map_fixed", fn)
+        assert policy.retries == 0
+        assert policy.exhausted == 0
+
+    def test_exhaustion_raises_the_last_fault(self):
+        """A fault that survives every attempt surfaces after charging
+        max_attempts backoff waits."""
+        cost = CostModel()
+        config = ResilienceConfig(max_attempts=3, seed=0)
+        policy = RetryPolicy(make_substrate("simulated"), cost, config)
+
+        def fn():
+            raise SubstrateFault("map_fixed", "maps_error", transient=True)
+
+        with pytest.raises(SubstrateFault):
+            policy.run("map_fixed", fn)
+        assert policy.retries == 3
+        assert policy.exhausted == 1
+        _, counters = cost.ledger.snapshot()
+        assert counters["backoff_waits"] == 3
+
+    def test_backoff_is_deterministic_per_seed(self):
+        """Same seed, same jittered backoff sequence; different seed,
+        different jitter."""
+        sub, cost = make_substrate("simulated"), CostModel()
+        a = RetryPolicy(sub, cost, ResilienceConfig(seed=7))
+        b = RetryPolicy(sub, cost, ResilienceConfig(seed=7))
+        c = RetryPolicy(sub, cost, ResilienceConfig(seed=8))
+        seq_a = [a.backoff_ns(i) for i in range(1, 4)]
+        seq_b = [b.backoff_ns(i) for i in range(1, 4)]
+        seq_c = [c.backoff_ns(i) for i in range(1, 4)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            make_substrate("simulated"),
+            CostModel(),
+            ResilienceConfig(
+                backoff_base_ns=1000.0, backoff_multiplier=2.0, jitter=0.0
+            ),
+        )
+        assert policy.backoff_ns(1) == 1000.0
+        assert policy.backoff_ns(2) == 2000.0
+        assert policy.backoff_ns(3) == 4000.0
+
+    def test_retries_do_not_advance_the_schedule(self):
+        """Re-attempts run suppressed: the schedule's call counters see
+        only first attempts, so arming retries never shifts which later
+        calls fault."""
+        substrate = FaultySubstrate(make_substrate("simulated"))
+        schedule = FaultSchedule(
+            [FaultRule(ops="reserve", nth=1, transient=True)], seed=0
+        )
+        substrate.schedule = schedule
+        policy = RetryPolicy(
+            substrate, CostModel(), ResilienceConfig(seed=0)
+        )
+        policy.run("reserve", lambda: substrate.reserve(4))
+        assert policy.recovered == 1
+        # The faulted first attempt counted; the suppressed healing
+        # re-attempt did not.
+        assert schedule.counters["reserve"] == 1
+        assert schedule.total_calls == 1
+        # An ordinary follow-up call advances the counters again.
+        substrate.reserve(4)
+        assert schedule.counters["reserve"] == 2
