@@ -260,6 +260,14 @@ def render_perf(payload: dict) -> str:
             f"{r['fast_s'] * 1e3:>10.1f}ms {r['speedup']:>7.1f}x  "
             f"{r['throughput']:,.0f} {r['unit']}"
         )
+    regressions = [r for r in payload["results"] if r["speedup"] < 1.0]
+    if regressions:
+        lines.append("")
+        lines.extend(
+            f"WARNING: {r['name']} fast path slower than reference "
+            f"({r['speedup']:.2f}x)"
+            for r in regressions
+        )
     return "\n".join(lines)
 
 

@@ -185,6 +185,25 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="also write every captured span to this JSONL file",
             )
+            sub.add_argument(
+                "--chrome",
+                type=str,
+                default=None,
+                help=(
+                    "also write the capture as a Chrome/Perfetto "
+                    "trace_event JSON file (load via chrome://tracing "
+                    "or ui.perfetto.dev)"
+                ),
+            )
+            sub.add_argument(
+                "--folded",
+                type=str,
+                default=None,
+                help=(
+                    "also write folded stacks (flamegraph.pl / speedscope "
+                    "input) weighted by simulated self-time"
+                ),
+            )
         else:
             sub.add_argument(
                 "--json",
@@ -224,6 +243,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .audit.session import FAULT_LEVELS
     from .substrate import BACKENDS
+
+    from .obs.calibration import DEFAULT_CALIBRATION_PAGES, DEFAULT_JSON_PATH
+
+    calibrate = subparsers.add_parser(
+        "calibrate",
+        help=(
+            "pair simulated cost against wall-clock time per span kind "
+            "and report drift (writes BENCH_calibration.json)"
+        ),
+    )
+    calibrate.add_argument(
+        "--pages",
+        type=int,
+        default=DEFAULT_CALIBRATION_PAGES,
+        help=f"column size in pages (default: {DEFAULT_CALIBRATION_PAGES})",
+    )
+    calibrate.add_argument(
+        "--queries",
+        type=int,
+        default=32,
+        help="queries in the calibration workload (default: 32)",
+    )
+    calibrate.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="native",
+        help=(
+            "substrate backend to calibrate against (default: native — "
+            "the simulated backend has no wall clock to pair with)"
+        ),
+    )
+    calibrate.add_argument(
+        "--experiment",
+        default="sine",
+        help="data distribution of the calibration workload (default: sine)",
+    )
+    calibrate.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="session seed (default: REPRO_SEED or 0)",
+    )
+    calibrate.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help=(
+            "relative drift tolerated before a finding fires "
+            "(default: 0.5 — measured/predicted outside [0.67, 1.5]x)"
+        ),
+    )
+    calibrate.add_argument(
+        "--json",
+        type=str,
+        default=DEFAULT_JSON_PATH,
+        help=f"output JSON path (default: {DEFAULT_JSON_PATH})",
+    )
+    calibrate.add_argument(
+        "--chrome",
+        type=str,
+        default=None,
+        help="also write the session trace as Chrome trace_event JSON",
+    )
+    calibrate.add_argument(
+        "--folded",
+        type=str,
+        default=None,
+        help="also write the session trace as folded flamegraph stacks",
+    )
 
     audit = subparsers.add_parser(
         "audit",
@@ -355,7 +443,22 @@ def _run_trace(args: argparse.Namespace) -> int:
         with open(args.jsonl, "w") as f:
             f.write(trace_to_jsonl(captured.observer.tracer))
         print(f"[all spans written to {args.jsonl}]")
+    _write_portable_traces(captured.observer.tracer, args)
     return 0
+
+
+def _write_portable_traces(tracer, args: argparse.Namespace) -> None:
+    """Honour the shared ``--chrome`` / ``--folded`` export flags."""
+    from .obs.exporters import trace_to_chrome, trace_to_folded
+
+    if getattr(args, "chrome", None):
+        with open(args.chrome, "w") as f:
+            f.write(trace_to_chrome(tracer))
+        print(f"[chrome trace written to {args.chrome}]")
+    if getattr(args, "folded", None):
+        with open(args.folded, "w") as f:
+            f.write(trace_to_folded(tracer))
+        print(f"[folded stacks written to {args.folded}]")
 
 
 def _run_metrics(args: argparse.Namespace) -> int:
@@ -441,6 +544,29 @@ def _run_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_calibrate(args: argparse.Namespace) -> int:
+    from .obs.calibration import run_calibration_session, write_calibration_json
+
+    run = run_calibration_session(
+        num_pages=args.pages,
+        num_queries=args.queries,
+        backend=args.backend,
+        experiment=args.experiment,
+        seed=args.seed,
+        threshold=args.threshold,
+    )
+    print(run.report.render())
+    write_calibration_json(run.report.to_payload(), args.json)
+    print(f"\n[calibration written to {args.json}]")
+    if args.backend != "native":
+        print(
+            "[note: only the native backend carries wall-clock readings "
+            "— this report has nothing to pair]"
+        )
+    _write_portable_traces(run.observed.observer.tracer, args)
+    return 0
+
+
 def _run_audit(args: argparse.Namespace) -> int:
     from .audit.session import run_audited_session
 
@@ -499,6 +625,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_resilience(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "calibrate":
+        return _run_calibrate(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "metrics":

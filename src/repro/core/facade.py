@@ -74,7 +74,9 @@ class AdaptiveDatabase:
             self.observer = (
                 observe
                 if isinstance(observe, Observer)
-                else Observer(self.catalog.cost.ledger)
+                else Observer(
+                    self.catalog.cost.ledger, wall=self.substrate.wall
+                )
             )
             self.substrate.set_observer(self.observer)
         #: The resilience configuration every layer is armed with, or
@@ -132,6 +134,70 @@ class AdaptiveDatabase:
             result.values = result.values[keep]
             result.stats.result_rows = int(result.rowids.size)
         return result
+
+    def explain(
+        self,
+        table_name: str,
+        column_name: str,
+        lo: int,
+        hi: int,
+        analyze: bool = False,
+    ):
+        """``EXPLAIN [ANALYZE]`` one range query over a column.
+
+        Returns an :class:`~repro.obs.calibration.ExplainReport`: the
+        views the router would pick, the pages they cover and the
+        predicted simulated scan cost.  With ``analyze`` the query
+        actually runs (views adapt, the ledger is charged) and the
+        report adds the recorded span tree — per node simulated cost,
+        measured wall-clock on the native backend, pages touched — plus
+        the planner's predicted-vs-actual row.
+        """
+        from ..obs.calibration import explain_range_query
+
+        table = self.table(table_name)
+        layer = self.layer(table_name, column_name)
+        if analyze and len(table.pending_updates(column_name)):
+            layer.apply_updates(table.drain_updates(column_name))
+        return explain_range_query(
+            layer,
+            lo,
+            hi,
+            analyze=analyze,
+            target=f"{table_name}.{column_name}",
+        )
+
+    def calibration_report(self, threshold: float = 0.5):
+        """Pair this database's simulated charges with wall-clock time.
+
+        Ingests every wall-timed span still buffered in the attached
+        observer's tracer and returns a
+        :class:`~repro.obs.calibration.CalibrationReport` with per-kind
+        measured/predicted ratios and drift findings.  Requires
+        ``observe=True``; only native-backend sessions carry wall
+        readings (on the simulated backend the report is empty).
+        """
+        if self.observer is None:
+            raise RuntimeError(
+                "calibration_report() needs observe=True — the report is "
+                "built from the observer's recorded spans"
+            )
+        from ..obs.calibration import CalibrationModel, build_report
+
+        model = CalibrationModel(self.cost.params)
+        paired = model.ingest(self.observer.tracer)
+        model.publish(self.observer, threshold)
+        wall = self.substrate.wall
+        return build_report(
+            model,
+            backend=self.substrate.backend,
+            threshold=threshold,
+            wall_ops=wall.snapshot() if wall is not None else {},
+            meta={
+                "wall_paired_spans": paired,
+                "total_spans": self.observer.tracer.total_spans,
+            },
+        )
 
     def delete(
         self, table_name: str, column_name: str, lo: int, hi: int

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import fastpath
 from ..storage.column import PhysicalColumn
 from ..storage.page import clamp_range
 from ..vm.constants import VALUES_PER_PAGE
@@ -110,20 +111,42 @@ def batch_scan(
     page_ids = file.headers[fpages]
 
     valid = _valid_mask(column, fpages)
-    qual_mask = (data >= lo) & (data <= hi)
-    below_mask = data < lo
-    above_mask = data > hi
-    if valid is not None:
-        qual_mask &= valid
-        below_mask &= valid
-        above_mask &= valid
+    if fastpath.enabled():
+        # Masked where= reductions read `data` once and skip the two
+        # full-size int64 sentinel temporaries the reference path
+        # materialises; every mask is built with in-place boolean ops.
+        # Bit-identical to the reference branch below (the parity tests
+        # pin that down).
+        qual_mask = data >= lo
+        qual_mask &= data <= hi
+        below_mask = data < lo
+        above_mask = np.logical_or(qual_mask, below_mask)
+        np.logical_not(above_mask, out=above_mask)
+        if valid is not None:
+            qual_mask &= valid
+            below_mask &= valid
+            above_mask &= valid
+        max_below = np.maximum.reduce(
+            data, axis=1, where=below_mask, initial=NO_BELOW
+        )
+        min_above = np.minimum.reduce(
+            data, axis=1, where=above_mask, initial=NO_ABOVE
+        )
+    else:
+        qual_mask = (data >= lo) & (data <= hi)
+        below_mask = data < lo
+        above_mask = data > hi
+        if valid is not None:
+            qual_mask &= valid
+            below_mask &= valid
+            above_mask &= valid
+        max_below = np.where(below_mask, data, NO_BELOW).max(axis=1)
+        min_above = np.where(above_mask, data, NO_ABOVE).min(axis=1)
 
     page_idx, slots = np.nonzero(qual_mask)
     rowids = page_ids[page_idx] * column.values_per_page + slots
     values = data[page_idx, slots]
 
-    max_below = np.where(below_mask, data, NO_BELOW).max(axis=1)
-    min_above = np.where(above_mask, data, NO_ABOVE).min(axis=1)
     page_qualifies = qual_mask.any(axis=1)
 
     if charge:

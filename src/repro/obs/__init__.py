@@ -31,6 +31,8 @@ from .exporters import (
     render_metrics_json,
     render_prometheus,
     render_trace_tree,
+    trace_to_chrome,
+    trace_to_folded,
     trace_to_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -50,6 +52,8 @@ __all__ = [
     "render_metrics_json",
     "render_prometheus",
     "render_trace_tree",
+    "trace_to_chrome",
+    "trace_to_folded",
     "Span",
     "trace_to_jsonl",
     "Tracer",

@@ -1,0 +1,215 @@
+"""``EXPLAIN [ANALYZE]`` over the adaptive storage layer.
+
+``EXPLAIN`` predicts: which views the router would pick for a range,
+how many pages they cover, and what the scan should cost under the
+:class:`~repro.vm.cost.CostModel` constants.  ``EXPLAIN ANALYZE``
+additionally *runs* the query under an (ephemeral, if necessary)
+observer and renders the recorded span tree — per node: simulated cost,
+measured wall-clock (native backend), pages touched and view decisions —
+closing with the planner's predicted-vs-actual row.
+
+Shared by :meth:`repro.core.facade.AdaptiveDatabase.explain` and the SQL
+layer's ``EXPLAIN [ANALYZE] SELECT ...``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ...storage.page import clamp_range
+from ..observer import Observer
+from ..span import Span
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ...core.adaptive import AdaptiveStorageLayer
+    from ...core.stats import QueryStats
+
+
+@dataclass
+class ExplainReport:
+    """Plan (and, with analyze, execution evidence) of one range query."""
+
+    #: Label of the queried column ("table.column" when known).
+    target: str
+    #: The clamped query range.
+    lo: int
+    hi: int
+    #: Whether the query was actually executed (EXPLAIN ANALYZE).
+    analyze: bool
+    #: Descriptors of the views the router picked, in routing order.
+    plan_views: list[dict] = field(default_factory=list)
+    #: Pages those views cover (the planner's page prediction).
+    predicted_pages: int = 0
+    #: Predicted simulated scan cost over those pages.
+    predicted_sim_ns: float = 0.0
+    #: Root of the recorded ``query`` span tree (analyze only).
+    root: Span | None = None
+    #: The executed query's measurements (analyze only).
+    stats: "QueryStats | None" = None
+    #: Rows the executed query returned (analyze only).
+    rows: int = 0
+
+    def render(self) -> str:
+        """The text block ``EXPLAIN [ANALYZE]`` prints."""
+        mode = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        lines = [f"{mode} {self.target} IN [{self.lo}, {self.hi}]"]
+        lines.append(
+            f"plan: {len(self.plan_views)} view(s), "
+            f"{self.predicted_pages} pages"
+        )
+        for view in self.plan_views:
+            if view["full"]:
+                lines.append(f"  - full view ({view['pages']} pages)")
+            else:
+                lines.append(
+                    f"  - v[{view['lo']}, {view['hi']}] "
+                    f"({view['pages']} pages)"
+                )
+        lines.append(
+            f"predicted scan cost: {self.predicted_sim_ns / 1e6:.4f} ms simulated"
+        )
+        if not self.analyze:
+            return "\n".join(lines)
+
+        lines.append("")
+        if self.root is not None:
+            lines.extend(
+                _analyzed_line(span, span.depth - self.root.depth)
+                for span in self.root.walk()
+            )
+        if self.stats is not None:
+            actual_ns = self.stats.sim_ns
+            actual_pages = self.stats.pages_scanned
+            ratio = (
+                actual_ns / self.predicted_sim_ns
+                if self.predicted_sim_ns
+                else float("inf")
+            )
+            lines.append("")
+            lines.append(
+                "planner: predicted "
+                f"{self.predicted_sim_ns / 1e6:.4f} ms / "
+                f"{self.predicted_pages} pages -> actual "
+                f"{actual_ns / 1e6:.4f} ms / {actual_pages} pages "
+                f"({ratio:.2f}x), {self.rows} rows, "
+                f"views used {self.stats.views_used}, "
+                f"candidate {self.stats.view_event.value}"
+            )
+        return "\n".join(lines)
+
+
+#: Counters worth showing on analyzed plan nodes.
+_NODE_COUNTERS = (
+    "pages_scanned",
+    "mmap_calls",
+    "munmap_calls",
+    "soft_faults",
+    "maps_lines_parsed",
+)
+
+
+def _analyzed_line(span: Span, indent: int) -> str:
+    """One plan-tree line: name, attrs, sim cost, wall cost, counters."""
+    attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+    counters = " ".join(
+        f"{name}={count}"
+        for name, count in sorted(span.counter_deltas.items())
+        if name in _NODE_COUNTERS
+    )
+    parts = [f"{'  ' * indent}{span.name}"]
+    if attrs:
+        parts.append(f"[{attrs}]")
+    parts.append(f"sim={span.duration_ms:.4f} ms")
+    if span.wall_ns:
+        parts.append(f"wall={span.wall_ns / 1e6:.4f} ms")
+    if counters:
+        parts.append(f"({counters})")
+    return " ".join(parts)
+
+
+def predict_scan_cost(layer: "AdaptiveStorageLayer", views) -> float:
+    """The planner's simulated cost of scanning the given views' pages.
+
+    The same arithmetic :func:`repro.core.scan.batch_scan` charges for a
+    sequential scan — page access, header read, value streaming over the
+    *valid* slots (the column's tail page may be partially filled) — so
+    a plan over the full view matches the executed ``scan`` span exactly
+    when the router's page prediction holds.
+    """
+    column = layer.column
+    params = column.cost.params
+    per_page_ns = params.seq_page_access_ns + params.page_header_read_ns
+    per_value_ns = (
+        params.seq_value_read_ns
+        * params.read_factor("seq")
+        * column.value_cost_factor
+    )
+    total = 0.0
+    for view in views:
+        pages = view.num_pages
+        values = pages * column.values_per_page
+        if pages == column.num_pages:
+            # covers the whole column, including the partial tail page
+            values = min(values, column.num_rows)
+        total += pages * per_page_ns + values * per_value_ns
+    return total
+
+
+def explain_range_query(
+    layer: "AdaptiveStorageLayer",
+    lo: int,
+    hi: int,
+    analyze: bool = False,
+    target: str = "",
+) -> ExplainReport:
+    """Explain (and with ``analyze``, execute and measure) one range query.
+
+    With ``analyze`` the query really runs — views adapt, the ledger is
+    charged — under the layer's own observer, or under an ephemeral one
+    when observation is off (attached for just this query; wall-clock
+    timing rides along automatically on backends with a wall ledger, so
+    a native-backend plan shows measured milliseconds per node).
+    """
+    lo, hi = clamp_range(lo, hi)
+    views = layer.view_index.get_optimal_views(lo, hi)
+    plan_views = [
+        {
+            "full": v.is_full_view,
+            "lo": v.lo,
+            "hi": v.hi,
+            "pages": v.num_pages,
+        }
+        for v in views
+    ]
+    predicted_pages = sum(v.num_pages for v in views)
+    report = ExplainReport(
+        target=target or layer.column.name,
+        lo=lo,
+        hi=hi,
+        analyze=analyze,
+        plan_views=plan_views,
+        predicted_pages=predicted_pages,
+        predicted_sim_ns=predict_scan_cost(layer, views),
+    )
+    if not analyze:
+        return report
+
+    obs = layer.observer
+    ephemeral = not getattr(obs, "enabled", False)
+    if ephemeral:
+        obs = Observer(
+            layer.column.cost.ledger, wall=layer.column.substrate.wall
+        )
+        previous = layer.observer
+        layer.observer = obs
+    try:
+        result = layer.answer_query(lo, hi)
+    finally:
+        if ephemeral:
+            layer.observer = previous
+    roots = [r for r in obs.tracer.roots() if r.name == "query"]
+    report.root = roots[-1] if roots else None
+    report.stats = result.stats
+    report.rows = len(result)
+    return report

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 from ..bench.harness import (
     SequenceRun,
-    fresh_column,
     make_update_batch,
     run_adaptive_sequence,
     scaled_pages,
@@ -22,6 +21,7 @@ from ..core.adaptive import AdaptiveStorageLayer
 from ..core.config import AdaptiveConfig
 from ..core.stats import MaintenanceStats
 from ..storage.column import PhysicalColumn
+from ..substrate import Substrate, make_substrate
 from ..workloads.distributions import DEFAULT_DOMAIN, DISTRIBUTIONS, generate
 from ..workloads.queries import selectivity_sweep
 from .observer import Observer
@@ -54,11 +54,15 @@ def run_observed_workload(
     updates: int | None = None,
     max_spans: int = 4096,
     seed: int = 0,
+    backend: str | Substrate = "simulated",
 ) -> ObservedRun:
     """Run one fully observed workload and return the capture.
 
     ``updates=None`` derives a small update batch from the query count;
-    ``updates=0`` skips the maintenance phase entirely.
+    ``updates=0`` skips the maintenance phase entirely.  ``backend``
+    selects the substrate the session runs on; on a backend with a
+    wall-clock ledger (native) every span additionally records measured
+    wall time — the raw material of :mod:`repro.obs.calibration`.
     """
     if experiment not in DISTRIBUTIONS:
         raise ValueError(
@@ -66,9 +70,12 @@ def run_observed_workload(
         )
     num_pages = num_pages or scaled_pages()
     values = generate(experiment, num_pages, seed=seed)
-    column = fresh_column(values, name=experiment)
+    substrate = make_substrate(backend)
+    column = PhysicalColumn.create(substrate, experiment, values)
 
-    observer = Observer(column.cost.ledger, max_spans=max_spans)
+    observer = Observer(
+        column.cost.ledger, max_spans=max_spans, wall=substrate.wall
+    )
     column.substrate.set_observer(observer)
     layer = AdaptiveStorageLayer(column, AdaptiveConfig(), observer=observer)
 

@@ -47,6 +47,10 @@ TOPIC_GOVERNOR = "resilience.governor"
 #: Topic of layer health transitions (healthy/degraded/readonly).
 TOPIC_HEALTH = "resilience.health"
 
+#: Topic of cost-model drift findings (simulated vs measured cost
+#: diverging beyond the calibration threshold).
+TOPIC_DRIFT = "obs.cost_drift"
+
 #: Subscription wildcard: receive every topic.
 ALL_TOPICS = "*"
 

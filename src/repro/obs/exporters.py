@@ -1,14 +1,21 @@
 """Renderers for the captured traces and metrics.
 
-Four output formats:
+Six output formats:
 
 * :func:`render_prometheus` — the Prometheus text exposition format
   (``# HELP`` / ``# TYPE`` plus one sample line per label set, with the
   cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple for
-  histograms);
+  histograms; untouched histograms still expose their bucket
+  boundaries as zero counts, so scrape consumers always see the
+  schema);
 * :func:`render_metrics_json` — the same registry as one JSON document;
 * :func:`trace_to_jsonl` — one JSON object per finished span (flat,
   finish order, children linked via ``parent_id``);
+* :func:`trace_to_chrome` — the Chrome/Perfetto ``trace_event`` JSON
+  format (open in ``chrome://tracing`` or https://ui.perfetto.dev);
+* :func:`trace_to_folded` — flamegraph-ready folded stacks (one
+  ``root;child;leaf value`` line per stack, self-time weighted; feed
+  to speedscope or ``flamegraph.pl``);
 * :func:`render_trace_tree` — the human-readable ASCII span tree shown
   by ``python -m repro trace``.
 """
@@ -58,6 +65,18 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"# HELP {metric.name} {metric.help}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, Histogram):
+            if not metric.samples():
+                # An untouched histogram still exposes its bucket
+                # boundaries (all-zero counts), mirroring the zero an
+                # untouched counter exposes below.
+                for bound in [*map(_format_bucket_bound, metric.buckets), "+Inf"]:
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels((), (('le', bound),))} 0"
+                    )
+                lines.append(f"{metric.name}_sum 0")
+                lines.append(f"{metric.name}_count 0")
+                continue
             for key, _ in metric.samples():
                 labels = dict(key)
                 cumulative = metric.cumulative_counts(**labels)
@@ -101,6 +120,92 @@ def trace_to_jsonl(tracer: Tracer) -> str:
     ) + ("\n" if tracer.finished_spans() else "")
 
 
+def trace_to_chrome(tracer: Tracer, pid: int = 1) -> str:
+    """Render the buffered spans in the Chrome ``trace_event`` format.
+
+    One complete ("X") event per finished span, on the simulated
+    timeline: ``ts`` is the span's opening ledger reading and ``dur``
+    its simulated duration, both in microseconds as the format requires.
+    Children nest inside their parents by construction (a child's lane
+    interval is contained in its parent's), so the resulting file opens
+    as a proper flame chart in ``chrome://tracing``, Perfetto or
+    speedscope.  Measured wall-clock nanoseconds, when the tracer
+    recorded them, ride along in ``args``.
+    """
+    events: list[dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "name": "process_name",
+            "args": {"name": "repro simulated timeline"},
+        }
+    ]
+    for span in tracer.finished_spans():
+        args: dict[str, object] = {
+            "span_id": span.span_id,
+            "sim_ns": span.duration_ns,
+            **{f"attr.{k}": v for k, v in span.attrs.items()},
+            **{f"counter.{k}": v for k, v in sorted(span.counter_deltas.items())},
+        }
+        if span.wall_ns:
+            args["wall_ns"] = span.wall_ns
+            args["wall_substrate_ns"] = span.wall_substrate_ns
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": 1,
+                "cat": span.lane,
+                "name": span.name,
+                "ts": span.start_ns / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "args": args,
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def trace_to_folded(tracer: Tracer, weight: str = "sim") -> str:
+    """Render the buffered root spans as folded flamegraph stacks.
+
+    One ``root;child;leaf value`` line per distinct stack, weighted by
+    *self* time — a span's duration minus its children's — so the stack
+    values sum to the roots' totals, as flamegraph tooling expects.
+    ``weight`` selects the clock: ``"sim"`` (simulated nanoseconds,
+    deterministic) or ``"wall"`` (measured nanoseconds; all-zero unless
+    the tracer recorded wall time).
+    """
+    if weight not in ("sim", "wall"):
+        raise ValueError(f"unknown folded-stack weight {weight!r}")
+    stacks: dict[str, float] = {}
+    for root in tracer.roots():
+        _fold_span(root, (), stacks, weight)
+    return "".join(
+        f"{stack} {int(round(value))}\n"
+        for stack, value in sorted(stacks.items())
+    )
+
+
+def _fold_span(
+    span: Span,
+    prefix: tuple[str, ...],
+    stacks: dict[str, float],
+    weight: str,
+) -> None:
+    path = (*prefix, span.name)
+    total = span.duration_ns if weight == "sim" else span.wall_ns
+    child_total = sum(
+        (c.duration_ns if weight == "sim" else c.wall_ns)
+        for c in span.children
+    )
+    self_ns = max(total - child_total, 0.0)
+    key = ";".join(path)
+    stacks[key] = stacks.get(key, 0.0) + self_ns
+    for child in span.children:
+        _fold_span(child, path, stacks, weight)
+
+
 def _span_line(span: Span, indent: int) -> str:
     attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
     counters = " ".join(
@@ -114,6 +219,8 @@ def _span_line(span: Span, indent: int) -> str:
     if attrs:
         parts.append(f"[{attrs}]")
     parts.append(f"{span.duration_ms:.4f} ms")
+    if span.wall_ns:
+        parts.append(f"wall={span.wall_ns / 1e6:.4f} ms")
     if counters:
         parts.append(f"({counters})")
     return " ".join(parts)

@@ -21,6 +21,21 @@ SIM_NS_BUCKETS = tuple(float(10**e) for e in range(3, 12))
 #: Default histogram buckets for page counts (powers of four).
 PAGE_COUNT_BUCKETS = tuple(float(4**e) for e in range(0, 10))
 
+#: Wall-clock buckets, microsecond lane: 1 µs .. 1 ms in a 1-2-5 series
+#: (bounds in nanoseconds).  Native-backend syscall latencies live here;
+#: the coarse decade buckets of :data:`SIM_NS_BUCKETS` would pile them
+#: all into two bins.
+WALL_US_BUCKETS = tuple(
+    float(m * 10**e) for e in range(3, 6) for m in (1, 2, 5)
+) + (1e6,)
+
+#: Wall-clock buckets, millisecond lane: 1 ms .. 1 s in a 1-2-5 series
+#: (bounds in nanoseconds).  For batch-level native latencies (whole
+#: queries, maintenance runs).
+WALL_MS_BUCKETS = tuple(
+    float(m * 10**e) for e in range(6, 9) for m in (1, 2, 5)
+) + (1e9,)
+
 
 def label_key(labels: dict[str, object]) -> LabelKey:
     """Canonicalize a label dict (values stringified, names sorted)."""

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, ContextManager
 
 from ..vm.cost import MAIN_LANE, CostLedger
 from .events import (
+    TOPIC_DRIFT,
     TOPIC_FAULT,
     TOPIC_FLUSH,
     TOPIC_GOVERNOR,
@@ -35,12 +36,15 @@ from .events import (
 from .metrics import (
     PAGE_COUNT_BUCKETS,
     SIM_NS_BUCKETS,
+    WALL_US_BUCKETS,
     MetricsRegistry,
 )
 from .span import DEFAULT_CAPACITY, Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
     from ..core.stats import MaintenanceStats, QueryStats, ViewLifecycleEvent
+    from ..substrate.interface import WallClockLedger
+    from .calibration.model import DriftFinding
 
 #: Buckets for views-used-per-query (Figure 5 peaks below ten).
 VIEWS_USED_BUCKETS = tuple(float(n) for n in (1, 2, 3, 4, 6, 8, 12, 16, 32))
@@ -118,6 +122,9 @@ class NullObserver:
     def on_health(self, state: str) -> None:
         """Hook: a layer's health state changed."""
 
+    def on_drift(self, finding: "DriftFinding") -> None:
+        """Hook: the calibration observatory flagged cost-model drift."""
+
 
 #: The shared disabled observer (observation off, the default).
 NULL_OBSERVER = NullObserver()
@@ -137,9 +144,13 @@ class Observer(NullObserver):
         ledger: CostLedger,
         max_spans: int = DEFAULT_CAPACITY,
         lane: str = MAIN_LANE,
+        wall: "WallClockLedger | None" = None,
     ) -> None:
+        """``wall`` (the substrate's measured-time ledger, native backend
+        only) opts spans into wall-clock timing — the raw material of
+        the calibration observatory (:mod:`repro.obs.calibration`)."""
         self.ledger = ledger
-        self.tracer = Tracer(ledger, capacity=max_spans, lane=lane)
+        self.tracer = Tracer(ledger, capacity=max_spans, lane=lane, wall=wall)
         self.metrics = MetricsRegistry()
         self.events = EventBus()
 
@@ -204,6 +215,18 @@ class Observer(NullObserver):
         self._health = m.gauge(
             "resilience_health",
             "Layer health severity (0=healthy, 1=degraded, 2=readonly)",
+        )
+        self._drift_ratio = m.gauge(
+            "cost_drift_ratio",
+            "Measured / predicted cost ratio per span kind (1.0 = calibrated)",
+        )
+        self._drift_findings = m.counter(
+            "cost_drift_findings_total", "Drift findings raised, by span kind"
+        )
+        self._span_wall_ns = m.histogram(
+            "span_wall_ns",
+            "Measured wall-clock nanoseconds per span (native backend)",
+            WALL_US_BUCKETS,
         )
 
     def span(self, name: str, **attrs: object) -> ContextManager[Span]:
@@ -295,6 +318,30 @@ class Observer(NullObserver):
     def on_health(self, state: str) -> None:
         self._health.set(_HEALTH_SEVERITY.get(state, -1.0))
         self.events.publish(TOPIC_HEALTH, state=state)
+
+    # -- calibration hooks ----------------------------------------------
+
+    def on_drift(self, finding: "DriftFinding") -> None:
+        """Record one drift finding: gauge, counter and event.
+
+        The ``cost_drift_ratio{span=...}`` gauge is what the resilience
+        health machine (or any scrape consumer) watches: 1.0 means the
+        cost model predicts the measured backend perfectly.
+        """
+        self._drift_ratio.set(finding.ratio, span=finding.kind)
+        self._drift_findings.inc(span=finding.kind)
+        self.events.publish(
+            TOPIC_DRIFT,
+            kind=finding.kind,
+            ratio=finding.ratio,
+            confidence=finding.confidence,
+            spans=finding.spans,
+            suggestions=dict(finding.suggestions),
+        )
+
+    def record_span_wall(self, kind: str, wall_ns: float) -> None:
+        """Feed one span's measured wall time into the wall histogram."""
+        self._span_wall_ns.observe(wall_ns, span=kind)
 
     # -- SQL hooks ------------------------------------------------------
 

@@ -16,12 +16,16 @@ buffer is full the oldest entries are dropped and counted.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..vm.cost import MAIN_LANE, CostLedger
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..substrate.interface import WallClockLedger
 
 #: Default ring-buffer capacity (finished spans / finished roots).
 DEFAULT_CAPACITY = 4096
@@ -55,6 +59,13 @@ class Span:
     children: list["Span"] = field(default_factory=list)
     #: Whether the span has been closed.
     finished: bool = False
+    #: Measured wall-clock nanoseconds while open (0.0 unless the tracer
+    #: was built with wall-clock timing, i.e. on the native backend).
+    wall_ns: float = 0.0
+    #: Measured wall-clock nanoseconds the substrate's
+    #: :class:`~repro.substrate.interface.WallClockLedger` accumulated
+    #: while open — the syscall share of :attr:`wall_ns`.
+    wall_substrate_ns: float = 0.0
 
     def set(self, **attrs: object) -> "Span":
         """Attach attributes to the span; returns the span for chaining."""
@@ -77,8 +88,13 @@ class Span:
         return max(span.depth for span in self.walk())
 
     def to_dict(self) -> dict[str, object]:
-        """Flat JSON-friendly record (children referenced by parent_id)."""
-        return {
+        """Flat JSON-friendly record (children referenced by parent_id).
+
+        Wall-clock fields appear only when the span was timed against
+        real time (native-backend tracing), so simulated captures stay
+        byte-deterministic.
+        """
+        record: dict[str, object] = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -88,6 +104,10 @@ class Span:
             "counters": dict(self.counter_deltas),
             "attrs": dict(self.attrs),
         }
+        if self.wall_ns:
+            record["wall_ns"] = self.wall_ns
+            record["wall_substrate_ns"] = self.wall_substrate_ns
+        return record
 
 
 class Tracer:
@@ -103,12 +123,19 @@ class Tracer:
         ledger: CostLedger,
         capacity: int = DEFAULT_CAPACITY,
         lane: str = MAIN_LANE,
+        wall: "WallClockLedger | None" = None,
     ) -> None:
+        """``wall`` opts spans into real-time measurement: each span then
+        additionally records elapsed ``perf_counter`` nanoseconds and the
+        wall nanoseconds the substrate ledger accumulated while it was
+        open.  Off by default — wall readings are nondeterministic, so
+        simulated captures never carry them."""
         if capacity < 1:
             raise ValueError("tracer capacity must be positive")
         self.ledger = ledger
         self.lane = lane
         self.capacity = capacity
+        self.wall = wall
         self._stack: list[Span] = []
         self._finished: deque[Span] = deque(maxlen=capacity)
         self._roots: deque[Span] = deque(maxlen=capacity)
@@ -135,11 +162,18 @@ class Tracer:
         self._next_id += 1
         lanes_start, counters_start = self.ledger.snapshot()
         span.start_ns = lanes_start.get(self.lane, 0.0)
+        wall = self.wall
+        if wall is not None:
+            wall_substrate_start = wall.total_ns()
+            wall_start = time.perf_counter_ns()
         self._stack.append(span)
         try:
             yield span
         finally:
             self._stack.pop()
+            if wall is not None:
+                span.wall_ns = float(time.perf_counter_ns() - wall_start)
+                span.wall_substrate_ns = wall.total_ns() - wall_substrate_start
             lanes_end, counters_end = self.ledger.snapshot()
             span.lane_deltas = {
                 lane: delta

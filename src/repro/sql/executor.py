@@ -21,6 +21,7 @@ from ..core.config import AdaptiveConfig
 from ..core.facade import AdaptiveDatabase
 from ..core.introspect import inspect_view_index, render_index_report
 from ..core.query import QueryEngine
+from ..obs.calibration import explain_range_query
 from ..storage.statistics import TableStatistics
 from ..vm.constants import MAX_VALUE, MIN_VALUE
 from .errors import ExecutionError
@@ -319,21 +320,19 @@ class Session:
             if predicate.column not in engine.table.columns:
                 raise ExecutionError(f"no such column: {predicate.column!r}")
             column = engine.table.column(predicate.column)
-            index = engine.layer(predicate.column).view_index
             lo = max(predicate.lo, MIN_VALUE)
             hi = min(predicate.hi, MAX_VALUE)
-            views = index.get_optimal_views(lo, hi)
-            total_pages = sum(v.num_pages for v in views)
-            kinds = ", ".join(
-                "full view" if v.is_full_view else f"v[{v.lo}, {v.hi}]({v.num_pages}p)"
-                for v in views
-            )
             estimate = self._statistics.estimate(column, lo, hi)
-            lines.append(
-                f"  {predicate.column} in [{lo}, {hi}] -> {len(views)} view(s), "
-                f"{total_pages} pages: {kinds}"
+            report = explain_range_query(
+                engine.layer(predicate.column),
+                lo,
+                hi,
+                analyze=statement.analyze,
+                target=f"{select.table}.{predicate.column}",
             )
-            lines.append(f"    estimated: {estimate.describe()}")
+            lines.append("")
+            lines.append(report.render())
+            lines.append(f"estimated: {estimate.describe()}")
         return ResultTable(columns=[], message="\n".join(lines))
 
 

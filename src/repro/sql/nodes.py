@@ -118,9 +118,15 @@ class ShowViewsStatement:
 
 @dataclass
 class ExplainStatement:
-    """``EXPLAIN SELECT ...`` — show the routing decision, don't run."""
+    """``EXPLAIN [ANALYZE] SELECT ...`` — show the plan for a select.
+
+    Plain ``EXPLAIN`` predicts (routing decision, pages, simulated scan
+    cost) without running; ``EXPLAIN ANALYZE`` also executes the query
+    and reports the recorded span tree and predicted-vs-actual costs.
+    """
 
     select: SelectStatement
+    analyze: bool = False
 
 
 Statement = (

@@ -17,7 +17,7 @@ semicolon is optional)::
     delete      := DELETE FROM name [WHERE conjunction]
     flush       := FLUSH UPDATES name
     show        := SHOW VIEWS name '.' name
-    explain     := EXPLAIN select
+    explain     := EXPLAIN [ANALYZE] select
     conjunction := comparison (AND comparison)*
     comparison  := name BETWEEN number AND number
                  | name ('='|'<'|'>'|'<='|'>=') number
@@ -114,7 +114,13 @@ class Parser:
             statement = self._parse_show()
         elif token.is_keyword("EXPLAIN"):
             self._advance()
-            statement = ExplainStatement(select=self._parse_select())
+            analyze = False
+            if self._peek().is_keyword("ANALYZE"):
+                self._advance()
+                analyze = True
+            statement = ExplainStatement(
+                select=self._parse_select(), analyze=analyze
+            )
         else:
             raise ParseError(f"unsupported statement start: {token.value!r}")
         self._expect_end()

@@ -90,5 +90,6 @@ def render_statement(statement: Statement) -> str:
     if isinstance(statement, ShowViewsStatement):
         return f"SHOW VIEWS {statement.table}.{statement.column}"
     if isinstance(statement, ExplainStatement):
-        return f"EXPLAIN {render_select(statement.select)}"
+        mode = "EXPLAIN ANALYZE" if statement.analyze else "EXPLAIN"
+        return f"{mode} {render_select(statement.select)}"
     raise SqlError(f"cannot render {type(statement).__name__}")

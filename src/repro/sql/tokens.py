@@ -16,6 +16,7 @@ from enum import Enum
 from .errors import TokenizeError
 
 KEYWORDS = {
+    "ANALYZE",
     "AND",
     "AVG",
     "BETWEEN",

@@ -464,8 +464,22 @@ class NativeSubstrate(Substrate):
         file_filter: str | None = None,
     ) -> MappingSnapshot:
         with self.wall.timed("maps_snapshot"):
-            entries = parse_maps(self.maps_text(), cost=cost, lane=lane)
-            entries = [e for e in entries if not self._is_internal(e)]
+            # Parse the real maps file, but keep (and charge the
+            # simulated ledger for) only the substrate's own file
+            # mappings — the lines the simulated backend would render.
+            # The interpreter contributes a fluctuating number of
+            # unrelated mappings, and counting those would make the
+            # deterministic ledger depend on allocator state; the true
+            # cost of parsing the full file is measured by the wall
+            # ledger wrapping this.
+            own_paths = {store.map_path for store in self._files.values()}
+            entries = [
+                e
+                for e in parse_maps(self.maps_text())
+                if e.pathname in own_paths and not self._is_internal(e)
+            ]
+            if cost is not None:
+                cost.maps_parse(len(entries), lane)
             return make_snapshot(
                 entries, cost=cost, lane=lane, file_filter=file_filter
             )

@@ -38,3 +38,33 @@ def test_perf_cli_writes_json(tmp_path, capsys):
     payload = json.loads(out.read_text())
     assert {r["name"] for r in payload["results"]} == REQUIRED_BENCHES
     assert "speedup" in capsys.readouterr().out
+
+
+def test_render_perf_warns_on_regressions():
+    payload = {
+        "pages": 64,
+        "iterations": 1,
+        "results": [
+            {"name": "scan", "reference_s": 1.0, "fast_s": 2.0,
+             "speedup": 0.5, "throughput": 32, "unit": "pages/s"},
+            {"name": "maps_snapshot", "reference_s": 1.0, "fast_s": 0.5,
+             "speedup": 2.0, "throughput": 128, "unit": "snapshots/s"},
+        ],
+    }
+    report = render_perf(payload)
+    assert (
+        "WARNING: scan fast path slower than reference (0.50x)" in report
+    )
+    assert report.count("WARNING") == 1
+
+
+def test_render_perf_silent_without_regressions():
+    payload = {
+        "pages": 64,
+        "iterations": 1,
+        "results": [
+            {"name": "scan", "reference_s": 1.0, "fast_s": 0.5,
+             "speedup": 2.0, "throughput": 128, "unit": "pages/s"},
+        ],
+    }
+    assert "WARNING" not in render_perf(payload)

@@ -97,3 +97,27 @@ def test_trace_tree_header_and_limit():
     assert out.splitlines()[0] == "trace: 5 spans recorded, 5 roots buffered"
     assert "root3" in out and "root4" in out
     assert "root0" not in out
+
+
+def test_prometheus_untouched_histogram_exposes_bucket_boundaries():
+    registry = MetricsRegistry()
+    registry.histogram("wall_ns", "wall time", buckets=(1000.0, 2000.0))
+    lines = render_prometheus(registry).splitlines()
+    assert 'wall_ns_bucket{le="1000"} 0' in lines
+    assert 'wall_ns_bucket{le="2000"} 0' in lines
+    assert 'wall_ns_bucket{le="+Inf"} 0' in lines
+    assert "wall_ns_sum 0" in lines
+    assert "wall_ns_count 0" in lines
+
+
+def test_observer_exports_wall_and_drift_families():
+    from repro.obs.observer import Observer
+    from repro.vm.cost import CostLedger
+
+    observer = Observer(CostLedger())
+    text = render_prometheus(observer.metrics)
+    assert "# TYPE cost_drift_ratio gauge" in text
+    assert "# TYPE cost_drift_findings_total counter" in text
+    assert "# TYPE span_wall_ns histogram" in text
+    # wall bucket boundaries are visible before any observation
+    assert 'span_wall_ns_bucket{le="1000"} 0' in text

@@ -88,3 +88,32 @@ def test_snapshot_is_json_shaped():
     assert hist_sample["buckets"] == {"10.0": 1, "+Inf": 0}
     assert hist_sample["sum"] == 7
     assert hist_sample["count"] == 1
+
+
+def test_wall_clock_bucket_presets_cover_their_lanes():
+    from repro.obs.metrics import WALL_MS_BUCKETS, WALL_US_BUCKETS
+
+    # µs lane: 1 µs .. 1 ms in a 1-2-5 series, +1 s overflow bound
+    assert WALL_US_BUCKETS[0] == 1_000.0
+    assert WALL_US_BUCKETS[-2] == 500_000.0
+    assert WALL_US_BUCKETS[-1] == 1e6
+    # ms lane: 1 ms .. 1 s, +1000 s overflow bound
+    assert WALL_MS_BUCKETS[0] == 1e6
+    assert WALL_MS_BUCKETS[-1] == 1e9
+    for buckets in (WALL_US_BUCKETS, WALL_MS_BUCKETS):
+        assert list(buckets) == sorted(buckets)
+        assert len(set(buckets)) == len(buckets)
+
+
+def test_wall_bucket_histogram_observes_into_lanes():
+    from repro.obs.metrics import WALL_US_BUCKETS
+
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "span_wall_ns", "wall time", buckets=WALL_US_BUCKETS
+    )
+    hist.observe(1_500.0)   # 1.5 µs -> le=2000 bucket
+    hist.observe(2e9)       # 2 s -> +Inf only
+    sample = registry.snapshot()["span_wall_ns"]["samples"][0]["value"]
+    assert sample["buckets"]["2000.0"] == 1
+    assert sample["buckets"]["+Inf"] == 1

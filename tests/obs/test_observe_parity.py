@@ -1,0 +1,67 @@
+"""Observation must be free: identical simulated charges on or off.
+
+The two-clock design only works if the measuring apparatus never
+perturbs the simulated clock — otherwise calibration would be comparing
+wall time against a cost that exists only when someone is looking.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveDatabase
+from repro.native import is_supported
+
+
+def _workload(db: AdaptiveDatabase) -> None:
+    values = np.random.default_rng(3).integers(0, 100_000, 6_000, np.int64)
+    db.create_table("t", {"x": values})
+    for lo in range(0, 90_000, 9_000):
+        db.query("t", "x", lo, lo + 7_000)
+    for row in range(0, 600, 60):
+        db.update("t", "x", row, row * 7)
+    db.flush_updates("t", "x")
+    db.query("t", "x", 1_000, 50_000)
+
+
+def _ledger_state(db: AdaptiveDatabase) -> tuple:
+    ledger = db.cost.ledger
+    return (ledger.lanes(), ledger.counters())
+
+
+def _run(observe: bool, backend: str = "simulated", calibrate: bool = False):
+    db = AdaptiveDatabase(observe=observe, backend=backend)
+    _workload(db)
+    if calibrate:
+        report = db.calibration_report()
+        assert report is not None
+    state = _ledger_state(db)
+    db.close()
+    return state
+
+
+def test_observe_off_and_on_charge_identical_ledgers():
+    assert _run(False) == _run(True)
+
+
+def test_calibration_report_charges_nothing():
+    assert _run(False) == _run(True, calibrate=True)
+
+
+@pytest.mark.skipif(
+    not is_supported(), reason="native rewiring unsupported on this platform"
+)
+def test_native_observe_and_calibration_charge_identical_ledgers():
+    baseline = _run(False, backend="native")
+    assert baseline == _run(True, backend="native", calibrate=True)
+
+
+def test_explain_without_analyze_charges_nothing():
+    db = AdaptiveDatabase(observe=False)
+    values = np.random.default_rng(3).integers(0, 100_000, 6_000, np.int64)
+    db.create_table("t", {"x": values})
+    db.query("t", "x", 0, 10_000)
+    before = _ledger_state(db)
+    report = db.explain("t", "x", 0, 10_000)
+    assert report.predicted_pages > 0
+    assert _ledger_state(db) == before
+    db.close()

@@ -1,0 +1,114 @@
+"""Portable trace exports: Chrome trace_event JSON and folded stacks."""
+
+import json
+
+from repro.obs.exporters import trace_to_chrome, trace_to_folded
+from repro.obs.span import Tracer
+from repro.vm.cost import CostLedger
+
+
+def traced() -> Tracer:
+    ledger = CostLedger()
+    tracer = Tracer(ledger)
+    with tracer.span("query", lo=1, hi=2):
+        with tracer.span("scan"):
+            ledger.charge(2_000_000.0)
+            ledger.count("pages_scanned", 7)
+        with tracer.span("candidate"):
+            ledger.charge(500_000.0)
+    return tracer
+
+
+# The full Chrome trace document of traced(): the golden file.  Spans
+# appear in finish order (scan, candidate, then the enclosing query);
+# the timeline is simulated nanoseconds, so the document is
+# deterministic down to the byte.
+GOLDEN_CHROME = {
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+        {
+            "args": {"name": "repro simulated timeline"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+        },
+        {
+            "args": {"counter.pages_scanned": 7, "sim_ns": 2000000.0,
+                     "span_id": 2},
+            "cat": "main",
+            "dur": 2000.0,
+            "name": "scan",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": 0.0,
+        },
+        {
+            "args": {"sim_ns": 500000.0, "span_id": 3},
+            "cat": "main",
+            "dur": 500.0,
+            "name": "candidate",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": 2000.0,
+        },
+        {
+            "args": {"attr.hi": 2, "attr.lo": 1,
+                     "counter.pages_scanned": 7, "sim_ns": 2500000.0,
+                     "span_id": 1},
+            "cat": "main",
+            "dur": 2500.0,
+            "name": "query",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": 0.0,
+        },
+    ],
+}
+
+
+def test_chrome_trace_matches_golden():
+    doc = json.loads(trace_to_chrome(traced()))
+    assert doc == GOLDEN_CHROME
+
+
+def test_chrome_trace_is_byte_deterministic():
+    assert trace_to_chrome(traced()) == trace_to_chrome(traced())
+    # key-sorted, pretty-printed, newline-terminated
+    text = trace_to_chrome(traced())
+    assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+
+def test_chrome_trace_empty_tracer():
+    doc = json.loads(trace_to_chrome(Tracer(CostLedger())))
+    assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+
+
+def test_chrome_trace_wall_args_only_when_measured():
+    doc = json.loads(trace_to_chrome(traced()))
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert all("wall_ns" not in e["args"] for e in spans)
+
+
+def test_folded_stacks_golden():
+    # Self-time weighting: query charged 2.5ms total, 2.5ms in children.
+    assert trace_to_folded(traced()) == (
+        "query 0\n"
+        "query;candidate 500000\n"
+        "query;scan 2000000\n"
+    )
+
+
+def test_folded_stacks_wall_weight_rejects_unknown():
+    import pytest
+
+    with pytest.raises(ValueError):
+        trace_to_folded(traced(), weight="cycles")
+
+
+def test_folded_stacks_wall_weight_zero_without_wall_ledger():
+    # No wall ledger attached: every wall weight is zero.
+    lines = trace_to_folded(traced(), weight="wall").splitlines()
+    assert all(line.endswith(" 0") for line in lines)
