@@ -48,6 +48,13 @@ from .obs import (
     render_prometheus,
     render_trace_tree,
 )
+from .shard import (
+    ShardedColumn,
+    ShardedDatabase,
+    ShardRouter,
+    ShardSpec,
+    plan_partition,
+)
 from .storage import Catalog, PhysicalColumn, Table, UpdateBatch, UpdateRecord
 from .substrate import (
     SimulatedSubstrate,
@@ -91,8 +98,13 @@ __all__ = [
     "QueryStats",
     "RoutingMode",
     "SequenceStats",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardedColumn",
+    "ShardedDatabase",
     "SimulatedSubstrate",
     "Substrate",
+    "plan_partition",
     "Table",
     "Tracer",
     "WallClockLedger",

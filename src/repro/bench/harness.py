@@ -23,7 +23,7 @@ from ..core.adaptive import AdaptiveStorageLayer
 from ..core.stats import QueryStats, SequenceStats
 from ..storage.column import PhysicalColumn
 from ..storage.updates import UpdateBatch, UpdateRecord
-from ..seeds import base_seed
+from ..seeds import base_seed, derive_seed
 from ..vm.cost import CostModel
 from ..substrate.simulated import SimulatedSubstrate
 from ..vm.physical import PhysicalMemory
@@ -60,15 +60,47 @@ def scaled_pages(paper_pages: int = PAPER_COLUMN_PAGES) -> int:
     return max(int(paper_pages / DEFAULT_DIVISOR * scale_factor()), 64)
 
 
-def session_seed() -> int:
+def shard_count() -> int:
+    """User-requested shard count (``REPRO_SHARDS``, default 1).
+
+    Validated exactly like ``REPRO_SCALE``: it must be a positive
+    integer (a shard count is a partition size; zero, negative or
+    fractional values would silently break the partition planner).
+    Consumed by ``python -m repro perf --shards`` as its default and by
+    :func:`session_seed` to derive per-shard workload streams.
+    """
+    raw = os.environ.get("REPRO_SHARDS", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SHARDS must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(
+            f"REPRO_SHARDS must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+def session_seed(shard: int | None = None) -> int:
     """User-requested session seed (``REPRO_SEED``, default 0).
 
     The companion knob to ``REPRO_SCALE``: read and validated in one
     place (:func:`repro.seeds.base_seed`), consumed by the workload
     generators and the fault-schedule fuzz suite, so any stochastic run
     is reproducible from its environment alone.
+
+    With ``shard`` set, returns that shard's derived sub-seed
+    (:func:`repro.seeds.derive_seed`): per-shard workload streams stay
+    deterministic *and* decorrelated under any ``REPRO_SHARDS`` value,
+    while ``shard=None`` keeps the historical whole-session seed.
     """
-    return base_seed()
+    if shard is None:
+        return base_seed()
+    if shard < 0:
+        raise ValueError(f"shard index must be non-negative, got {shard}")
+    return derive_seed(shard)
 
 
 def scale_divisor(num_pages: int, paper_pages: int = PAPER_COLUMN_PAGES) -> float:

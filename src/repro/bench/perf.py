@@ -16,19 +16,39 @@ import json
 import time
 from dataclasses import asdict, dataclass
 
+import numpy as np
+
 from .. import fastpath
 from ..core.creation import create_partial_view, materialize_pages
 from ..core.maintenance import align_partial_views
 from ..core.routing import scan_views
 from ..core.view import VirtualView
 from ..workloads.distributions import DEFAULT_DOMAIN, linear, uniform
-from .harness import fresh_column, make_update_batch
+from .harness import fresh_column, make_update_batch, session_seed
 
 #: Default column size: the ISSUE's "64k+ pages" wall-clock regime.
 DEFAULT_PERF_PAGES = 65_536
 
 #: Snapshots taken per timed maps-snapshot call (shows the cache effect).
 SNAPSHOTS_PER_CALL = 4
+
+#: Shard counts the sharded-scan benchmark sweeps by default.
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Column size of the sharded-scan acceptance run (256k pages ≈ 1 GB of
+#: int64 slots on the native backend).
+DEFAULT_SHARDED_PAGES = 262_144
+
+#: The paper's main-experiment column: 1M pages ≈ 3.9 GB of records.
+PAPER_SCALE_PAGES = 1_048_576
+
+#: Queries per timed sharded-scan call.
+SHARDED_QUERIES = 16
+
+#: Width of each sharded-scan predicate as a fraction of the domain.
+#: Narrow predicates on the nearly-sorted ("linear") distribution are
+#: what partition pruning accelerates: each routes to ~1 of N shards.
+SHARDED_SELECTIVITY = 0.02
 
 
 @dataclass
@@ -226,22 +246,195 @@ def bench_maps_snapshot(num_pages: int, iterations: int) -> PerfResult:
     )
 
 
-def run_perf(
-    num_pages: int = DEFAULT_PERF_PAGES, iterations: int = 3
+def _sharded_backend() -> str:
+    """Backend the sharded benchmarks run on (native when available)."""
+    from ..native import is_supported
+
+    return "native" if is_supported() else "simulated"
+
+
+def _sharded_workload(queries: int) -> list[tuple[int, int]]:
+    """The seeded narrow-predicate workload every shard count replays.
+
+    Seeded through :func:`~repro.bench.harness.session_seed`, so
+    ``REPRO_SEED`` makes the sweep reproducible from the environment.
+    """
+    rng = np.random.default_rng(session_seed())
+    domain_lo, domain_hi = DEFAULT_DOMAIN
+    width = int((domain_hi - domain_lo) * SHARDED_SELECTIVITY)
+    starts = rng.integers(domain_lo, domain_hi - width, size=queries)
+    return [(int(start), int(start) + width) for start in starts]
+
+
+def bench_sharded_scan(
+    num_pages: int,
+    iterations: int,
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+    backend: str | None = None,
+    queries: int = SHARDED_QUERIES,
 ) -> dict:
-    """Run every microbenchmark; returns the ``BENCH_perf.json`` payload."""
+    """Wall-clock the routed scatter-gather scan across shard counts.
+
+    One nearly-sorted column, one seeded narrow-predicate workload,
+    replayed at every shard count: the router prunes each query down to
+    the shards whose value bounds intersect it, so more shards mean
+    fewer pages scanned per query (and, on multi-core machines with the
+    native backend, genuinely parallel shard scans on top).  Row counts
+    are cross-checked between shard counts — pruning must never change
+    results.  Returns the ``sharded_scan`` payload section.
+    """
+    from ..shard import ShardedColumn
+
+    backend = backend or _sharded_backend()
+    values = linear(num_pages, seed=7)
+    ranges = _sharded_workload(queries)
+    entries: list[dict] = []
+    baseline_s: float | None = None
+    expected_rows: int | None = None
+    for num_shards in shard_counts:
+        if num_shards > num_pages:
+            continue
+        column = ShardedColumn.build(
+            "perf_sharded", values, num_shards, backend=backend
+        )
+        try:
+
+            def run() -> tuple[int, int]:
+                rows = 0
+                pages = 0
+                for lo, hi in ranges:
+                    result = column.scan(lo, hi)
+                    rows += result.stats.result_rows
+                    pages += result.stats.pages_scanned
+                return rows, pages
+
+            rows, pages_scanned = run()  # warm-up: first-touch faults
+            if expected_rows is None:
+                expected_rows = rows
+            elif rows != expected_rows:
+                raise AssertionError(
+                    f"sharded scan at {num_shards} shards returned {rows} "
+                    f"rows, expected {expected_rows} — pruning changed "
+                    "results"
+                )
+            best = _best_of([run], iterations)
+        finally:
+            column.close()
+        if baseline_s is None:
+            baseline_s = best
+        speedup = baseline_s / best if best > 0 else float("inf")
+        entries.append(
+            {
+                "shards": num_shards,
+                "seconds": best,
+                "speedup_vs_1": speedup,
+                "efficiency": speedup / num_shards,
+                "queries": queries,
+                "rows": rows,
+                "pages_scanned_per_pass": pages_scanned,
+            }
+        )
+    return {
+        "pages": num_pages,
+        "backend": backend,
+        "iterations": iterations,
+        "queries": queries,
+        "selectivity": SHARDED_SELECTIVITY,
+        "parallel": backend == "native",
+        "entries": entries,
+    }
+
+
+def bench_paper_scale(
+    num_pages: int = PAPER_SCALE_PAGES,
+    num_shards: int = 8,
+    iterations: int = 2,
+    backend: str | None = None,
+    queries: int = 8,
+) -> dict:
+    """The paper's 1M-page column, for real: build it, scan it, time it.
+
+    Every wall-clock number elsewhere in the payload tops out well below
+    paper scale; this one materializes the full 1M-page (≈4 GB on the
+    native backend) column across ``num_shards`` shard substrates and
+    times the routed scatter-gather scan on it.  Returns the
+    ``paper_scale`` payload section.
+    """
+    from ..shard import ShardedColumn
+
+    backend = backend or _sharded_backend()
+    values = linear(num_pages, seed=7)
+    ranges = _sharded_workload(queries)
+    build_started = time.perf_counter()
+    column = ShardedColumn.build(
+        "perf_paper", values, num_shards, backend=backend
+    )
+    build_s = time.perf_counter() - build_started
+    del values
+    try:
+
+        def run() -> tuple[int, int]:
+            rows = 0
+            pages = 0
+            for lo, hi in ranges:
+                result = column.scan(lo, hi)
+                rows += result.stats.result_rows
+                pages += result.stats.pages_scanned
+            return rows, pages
+
+        rows, pages_scanned = run()  # warm-up: first-touch faults
+        best = _best_of([run], iterations)
+    finally:
+        column.close()
+    return {
+        "pages": num_pages,
+        "shards": num_shards,
+        "backend": backend,
+        "build_seconds": build_s,
+        "scan_seconds": best,
+        "queries": queries,
+        "rows": rows,
+        "pages_scanned_per_pass": pages_scanned,
+        "pages_per_second": pages_scanned / best if best > 0 else float("inf"),
+    }
+
+
+def run_perf(
+    num_pages: int = DEFAULT_PERF_PAGES,
+    iterations: int = 3,
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+    sharded_pages: int | None = None,
+    paper_scale: bool = False,
+    paper_scale_pages: int = PAPER_SCALE_PAGES,
+) -> dict:
+    """Run every microbenchmark; returns the ``BENCH_perf.json`` payload.
+
+    ``sharded_pages`` sizes the sharded-scan column separately from the
+    fast-path benchmarks (default: same as ``num_pages``);
+    ``paper_scale`` additionally runs the 1M-page native sharded scan.
+    """
     results = [
         bench_scan(num_pages, iterations),
         bench_view_creation(num_pages, iterations),
         bench_maintenance(num_pages, iterations),
         bench_maps_snapshot(num_pages, iterations),
     ]
-    return {
+    payload = {
         "benchmark": "substrate fast paths (wall-clock)",
         "pages": num_pages,
         "iterations": iterations,
         "results": [asdict(r) for r in results],
     }
+    if shard_counts:
+        payload["sharded_scan"] = bench_sharded_scan(
+            sharded_pages or num_pages, iterations, shard_counts
+        )
+    if paper_scale:
+        payload["paper_scale"] = bench_paper_scale(
+            num_pages=paper_scale_pages,
+            num_shards=max(shard_counts) if shard_counts else 8,
+        )
+    return payload
 
 
 def render_perf(payload: dict) -> str:
@@ -267,6 +460,49 @@ def render_perf(payload: dict) -> str:
             f"WARNING: {r['name']} fast path slower than reference "
             f"({r['speedup']:.2f}x)"
             for r in regressions
+        )
+    sharded = payload.get("sharded_scan")
+    if sharded:
+        lines.extend(
+            [
+                "",
+                f"Sharded scan — {sharded['pages']} pages, "
+                f"{sharded['queries']} queries, {sharded['backend']} "
+                f"backend, best of {sharded['iterations']}",
+                "",
+                f"{'shards':>6} {'seconds':>12} {'speedup':>8} "
+                f"{'efficiency':>10}  pages/pass",
+                "-" * 52,
+            ]
+        )
+        for e in sharded["entries"]:
+            lines.append(
+                f"{e['shards']:>6} {e['seconds'] * 1e3:>10.1f}ms "
+                f"{e['speedup_vs_1']:>7.2f}x {e['efficiency']:>9.2f}  "
+                f"{e['pages_scanned_per_pass']:,}"
+            )
+        slowdowns = [
+            e for e in sharded["entries"] if e["speedup_vs_1"] < 1.0
+        ]
+        if slowdowns:
+            lines.append("")
+            lines.extend(
+                f"WARNING: sharded scan at {e['shards']} shards slower "
+                f"than 1 shard ({e['speedup_vs_1']:.2f}x)"
+                for e in slowdowns
+            )
+    paper = payload.get("paper_scale")
+    if paper:
+        lines.extend(
+            [
+                "",
+                f"Paper scale — {paper['pages']:,} pages, "
+                f"{paper['shards']} shards, {paper['backend']} backend: "
+                f"build {paper['build_seconds']:.1f}s, "
+                f"scan {paper['scan_seconds'] * 1e3:.1f}ms "
+                f"({paper['pages_per_second']:,.0f} pages/s, "
+                f"{paper['rows']:,} rows)",
+            ]
         )
     return "\n".join(lines)
 

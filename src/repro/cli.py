@@ -235,6 +235,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_perf.json",
         help="output JSON path (default: BENCH_perf.json)",
     )
+    perf.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "max shard count for the sharded-scan sweep; powers of two up "
+            "to it are benchmarked (default: 8, or REPRO_SHARDS when set; "
+            "0 disables the sweep)"
+        ),
+    )
+    perf.add_argument(
+        "--sharded-pages",
+        type=int,
+        default=None,
+        help=(
+            "column size in pages for the sharded-scan sweep "
+            "(default: --pages)"
+        ),
+    )
+    perf.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help=(
+            "additionally run the paper's 1M-page column through the "
+            "sharded scan (native backend when available; needs ~12 GB "
+            "RAM to generate and hold the column)"
+        ),
+    )
 
     subparsers.add_parser(
         "backends",
@@ -476,9 +504,26 @@ def _run_metrics(args: argparse.Namespace) -> int:
 
 
 def _run_perf(args: argparse.Namespace) -> int:
+    from .bench.harness import shard_count
     from .bench.perf import render_perf, run_perf, write_perf_json
 
-    payload = run_perf(num_pages=args.pages, iterations=args.iterations)
+    max_shards = args.shards
+    if max_shards is None:
+        env_shards = shard_count()
+        max_shards = env_shards if env_shards > 1 else 8
+    if max_shards < 0:
+        print(f"error: --shards must be >= 0, got {max_shards}")
+        return 2
+    shard_counts = tuple(
+        n for n in (1, 2, 4, 8, 16, 32, 64) if n <= max_shards
+    )
+    payload = run_perf(
+        num_pages=args.pages,
+        iterations=args.iterations,
+        shard_counts=shard_counts,
+        sharded_pages=args.sharded_pages,
+        paper_scale=args.paper_scale,
+    )
     print(render_perf(payload))
     write_perf_json(payload, args.json)
     print(f"\n[results written to {args.json}]")

@@ -51,6 +51,10 @@ TOPIC_HEALTH = "resilience.health"
 #: diverging beyond the calibration threshold).
 TOPIC_DRIFT = "obs.cost_drift"
 
+#: Topic of sharded scatter-gather executions (per-shard scans and the
+#: gather that merges them).
+TOPIC_SHARD = "shard.gather"
+
 #: Subscription wildcard: receive every topic.
 ALL_TOPICS = "*"
 

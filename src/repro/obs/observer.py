@@ -30,6 +30,7 @@ from .events import (
     TOPIC_QUERY,
     TOPIC_REBUILD,
     TOPIC_RETRY,
+    TOPIC_SHARD,
     TOPIC_VIEW_LIFECYCLE,
     EventBus,
 )
@@ -124,6 +125,19 @@ class NullObserver:
 
     def on_drift(self, finding: "DriftFinding") -> None:
         """Hook: the calibration observatory flagged cost-model drift."""
+
+    def on_shard_scan(self, shard: int, stats: "QueryStats") -> None:
+        """Hook: one shard answered its slice of a routed query."""
+
+    def on_shard_maintenance(
+        self, shard: int, stats: "MaintenanceStats"
+    ) -> None:
+        """Hook: one shard realigned its views after a batch."""
+
+    def on_shard_gather(
+        self, shards: int, of: int, rows: int, sim_ns: float
+    ) -> None:
+        """Hook: a scatter-gather merged ``shards`` of ``of`` shards."""
 
 
 #: The shared disabled observer (observation off, the default).
@@ -227,6 +241,20 @@ class Observer(NullObserver):
             "span_wall_ns",
             "Measured wall-clock nanoseconds per span (native backend)",
             WALL_US_BUCKETS,
+        )
+        self._shard_scans = m.counter(
+            "shard_scans_total", "Per-shard slices of routed queries, by shard"
+        )
+        self._shard_flushes = m.counter(
+            "shard_flushes_total", "Per-shard view realignments, by shard"
+        )
+        self._shard_gathers = m.counter(
+            "shard_gathers_total", "Scatter-gather merges across shards"
+        )
+        self._shard_fanout = m.histogram(
+            "shard_gather_fanout",
+            "Shards visited per scatter-gather execution",
+            VIEWS_USED_BUCKETS,
         )
 
     def span(self, name: str, **attrs: object) -> ContextManager[Span]:
@@ -342,6 +370,36 @@ class Observer(NullObserver):
     def record_span_wall(self, kind: str, wall_ns: float) -> None:
         """Feed one span's measured wall time into the wall histogram."""
         self._span_wall_ns.observe(wall_ns, span=kind)
+
+    # -- shard hooks ------------------------------------------------------
+
+    def on_shard_scan(self, shard: int, stats: "QueryStats") -> None:
+        """One shard's slice of a routed query: the existing scan
+        metrics gain a ``shard`` label next to the unlabeled
+        whole-query series."""
+        label = str(shard)
+        self._shard_scans.inc(shard=label)
+        self._query_ns.observe(stats.sim_ns, shard=label)
+        self._pages_scanned.observe(stats.pages_scanned, shard=label)
+
+    def on_shard_maintenance(
+        self, shard: int, stats: "MaintenanceStats"
+    ) -> None:
+        """One shard's view realignment: maintenance metrics, shard-labeled."""
+        label = str(shard)
+        self._shard_flushes.inc(shard=label)
+        self._flush_ns.observe(stats.total_ns, shard=label)
+        self._pages_added.inc(stats.pages_added, shard=label)
+        self._pages_removed.inc(stats.pages_removed, shard=label)
+
+    def on_shard_gather(
+        self, shards: int, of: int, rows: int, sim_ns: float
+    ) -> None:
+        self._shard_gathers.inc()
+        self._shard_fanout.observe(shards)
+        self.events.publish(
+            TOPIC_SHARD, shards=shards, of=of, rows=rows, sim_ns=sim_ns
+        )
 
     # -- SQL hooks ------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""Sharded parallel execution: partitioned scatter-gather storage.
+
+The shard layer slots between the facade and the substrate: a
+:class:`ShardedColumn` partitions one logical column across N shards —
+each owning its own substrate, page store, view catalog, background
+mapper and resilience slice — and a :class:`ShardRouter` maps range
+predicates to the shards they can touch.  :class:`ShardedDatabase` is
+the facade sibling exposing the familiar ``AdaptiveDatabase`` surface
+on top.
+
+See ``docs/performance.md`` ("Sharded execution") for the measured
+scaling and ``docs/architecture.md`` for where the layer sits.
+"""
+
+from .column import Shard, ShardedColumn
+from .database import ShardedDatabase
+from .partition import (
+    ShardSpec,
+    check_partition,
+    plan_partition,
+    shard_of_row,
+)
+from .router import ShardRouter
+
+__all__ = [
+    "Shard",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardedColumn",
+    "ShardedDatabase",
+    "check_partition",
+    "plan_partition",
+    "shard_of_row",
+]

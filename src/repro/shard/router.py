@@ -1,0 +1,97 @@
+"""The shard router: range predicates → the shards they can touch.
+
+Each shard advertises a conservative value interval ``[min, max]`` over
+the rows it stores.  A range query ``[lo, hi]`` only needs the shards
+whose interval intersects it — on the paper's nearly-sorted ("linear")
+distribution a narrow predicate routes to a single shard, which is
+where the sharded scan's speedup comes from on any core count.
+
+The bounds are *metadata*, maintained outside the cost model (real
+systems keep per-partition zone maps for free next to the allocator):
+
+* at build time each shard's bounds are computed from its value slice;
+* :meth:`ShardRouter.widen` grows — never shrinks — the owning shard's
+  interval on every update, so the bounds stay a superset of the live
+  values even while updates are pending;
+* :meth:`ShardRouter.tighten` re-derives exact bounds from ground truth
+  after a flush, restoring pruning precision.
+
+Because the bounds are always a superset of the shard's live values, a
+pruned shard provably holds no qualifying row: router pruning never
+changes query results, only the work done to produce them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ShardRouter:
+    """Conservative per-shard value bounds plus the pruning decision."""
+
+    def __init__(self, bounds: list[tuple[int, int]]) -> None:
+        """``bounds[i]`` is shard *i*'s value interval ``(min, max)``."""
+        if not bounds:
+            raise ValueError("router needs at least one shard interval")
+        for i, (mn, mx) in enumerate(bounds):
+            if mn > mx:
+                raise ValueError(
+                    f"shard {i}: inverted value interval [{mn}, {mx}]"
+                )
+        self._bounds: list[tuple[int, int]] = list(bounds)
+
+    @classmethod
+    def from_slices(cls, slices: list[np.ndarray]) -> "ShardRouter":
+        """Build a router from each shard's value slice (uncharged)."""
+        return cls(
+            [(int(part.min()), int(part.max())) for part in slices]
+        )
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the router knows about."""
+        return len(self._bounds)
+
+    def bounds(self, shard: int) -> tuple[int, int]:
+        """Shard ``shard``'s current value interval."""
+        return self._bounds[shard]
+
+    def shards_for_range(self, lo: int, hi: int) -> list[int]:
+        """Indices of every shard whose interval intersects ``[lo, hi]``.
+
+        Ascending order, so scatter-gather concatenation stays
+        deterministic.  May be empty when no shard can hold a
+        qualifying value.
+        """
+        if lo > hi:
+            raise ValueError(f"inverted query range [{lo}, {hi}]")
+        return [
+            i
+            for i, (mn, mx) in enumerate(self._bounds)
+            if mn <= hi and mx >= lo
+        ]
+
+    def widen(self, shard: int, value: int) -> None:
+        """Grow shard ``shard``'s interval to include ``value``.
+
+        Called on every update; bounds only ever grow here so they stay
+        a superset of the shard's live values between flushes.
+        """
+        mn, mx = self._bounds[shard]
+        self._bounds[shard] = (min(mn, value), max(mx, value))
+
+    def tighten(self, shard: int, lo: int, hi: int) -> None:
+        """Replace shard ``shard``'s interval with exact bounds.
+
+        Called after a flush with ground-truth min/max; this is the only
+        way an interval shrinks.
+        """
+        if lo > hi:
+            raise ValueError(f"inverted value interval [{lo}, {hi}]")
+        self._bounds[shard] = (lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"s{i}[{mn}, {mx}]" for i, (mn, mx) in enumerate(self._bounds)
+        )
+        return f"ShardRouter({parts})"

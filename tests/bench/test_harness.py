@@ -15,6 +15,8 @@ from repro.bench.harness import (
     run_full_scan_sequence,
     scale_divisor,
     scaled_pages,
+    session_seed,
+    shard_count,
     verify_runs_agree,
 )
 from repro.core.adaptive import AdaptiveStorageLayer
@@ -55,6 +57,58 @@ class TestScaling:
 
     def test_scale_divisor(self):
         assert scale_divisor(1000) == pytest.approx(1000.0)
+
+
+class TestShardCount:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert shard_count() == 1
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        assert shard_count() == 8
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "many")
+        with pytest.raises(ValueError, match="REPRO_SHARDS"):
+            shard_count()
+
+    def test_fractional_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "2.5")
+        with pytest.raises(ValueError, match="REPRO_SHARDS"):
+            shard_count()
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        for bad in ("0", "-2"):
+            monkeypatch.setenv("REPRO_SHARDS", bad)
+            with pytest.raises(ValueError, match="REPRO_SHARDS"):
+                shard_count()
+
+
+class TestSessionSeed:
+    def test_default_is_base_seed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        assert session_seed() == 0
+
+    def test_env_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "7")
+        assert session_seed() == 7
+
+    def test_shard_seeds_are_distinct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "11")
+        seeds = {session_seed(shard=i) for i in range(8)}
+        assert len(seeds) == 8
+        assert session_seed() not in seeds
+
+    def test_shard_seed_matches_derive_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "5")
+        from repro.seeds import derive_seed
+
+        assert session_seed(shard=3) == derive_seed(3)
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError, match="shard index"):
+            session_seed(shard=-1)
 
 
 class TestFreshColumn:

@@ -1,0 +1,154 @@
+"""Partition planner and router: properties and boundary behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard import ShardRouter, plan_partition
+from repro.shard.partition import check_partition, shard_of_row
+from repro.vm.constants import VALUES_PER_PAGE
+
+
+class TestPlanPartition:
+    def test_single_shard_covers_everything(self):
+        specs = plan_partition(10_000, VALUES_PER_PAGE, 1)
+        assert len(specs) == 1
+        assert specs[0].row_start == 0
+        assert specs[0].row_end == 10_000
+        assert not check_partition(specs, 10_000, VALUES_PER_PAGE)
+
+    def test_rejects_more_shards_than_pages(self):
+        with pytest.raises(ValueError):
+            plan_partition(VALUES_PER_PAGE, VALUES_PER_PAGE, 2)
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            plan_partition(1000, VALUES_PER_PAGE, 0)
+
+    @given(
+        num_rows=st.integers(1, 200 * VALUES_PER_PAGE),
+        num_shards=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_disjoint_exhaustive_page_aligned(
+        self, num_rows, num_shards
+    ):
+        num_pages = -(-num_rows // VALUES_PER_PAGE)
+        if num_shards > num_pages:
+            with pytest.raises(ValueError):
+                plan_partition(num_rows, VALUES_PER_PAGE, num_shards)
+            return
+        specs = plan_partition(num_rows, VALUES_PER_PAGE, num_shards)
+        assert not check_partition(specs, num_rows, VALUES_PER_PAGE)
+        # Even split: page counts differ by at most one.
+        page_counts = [spec.num_pages for spec in specs]
+        assert max(page_counts) - min(page_counts) <= 1
+
+    @given(
+        num_rows=st.integers(1, 200 * VALUES_PER_PAGE),
+        num_shards=st.integers(1, 16),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shard_of_row_matches_spec_ranges(
+        self, num_rows, num_shards, data
+    ):
+        num_pages = -(-num_rows // VALUES_PER_PAGE)
+        if num_shards > num_pages:
+            return
+        specs = plan_partition(num_rows, VALUES_PER_PAGE, num_shards)
+        row = data.draw(st.integers(0, num_rows - 1))
+        spec = shard_of_row(specs, row)
+        assert spec.row_start <= row < spec.row_end
+
+    def test_shard_of_row_rejects_out_of_range(self):
+        specs = plan_partition(1000, VALUES_PER_PAGE, 1)
+        with pytest.raises(IndexError):
+            shard_of_row(specs, 1000)
+        with pytest.raises(IndexError):
+            shard_of_row(specs, -1)
+
+
+class TestCheckPartition:
+    def test_detects_gap(self):
+        from dataclasses import replace
+
+        specs = plan_partition(10 * VALUES_PER_PAGE, VALUES_PER_PAGE, 2)
+        broken = [
+            specs[0],
+            replace(
+                specs[1],
+                row_start=specs[1].row_start + VALUES_PER_PAGE,
+                page_start=specs[1].page_start + 1,
+            ),
+        ]
+        assert check_partition(broken, 10 * VALUES_PER_PAGE, VALUES_PER_PAGE)
+
+    def test_detects_truncated_tail(self):
+        specs = plan_partition(10 * VALUES_PER_PAGE, VALUES_PER_PAGE, 2)
+        assert check_partition(
+            specs[:1], 10 * VALUES_PER_PAGE, VALUES_PER_PAGE
+        )
+
+
+class TestShardRouter:
+    def test_routes_only_intersecting_shards(self):
+        router = ShardRouter([(0, 99), (100, 199), (200, 299)])
+        assert router.shards_for_range(0, 99) == [0]
+        assert router.shards_for_range(150, 250) == [1, 2]
+        assert router.shards_for_range(0, 300) == [0, 1, 2]
+        assert router.shards_for_range(500, 600) == []
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            ShardRouter([(10, 5)])
+
+    def test_widen_then_tighten_round_trips(self):
+        router = ShardRouter([(100, 200)])
+        router.widen(0, 500)
+        assert router.shards_for_range(400, 600) == [0]
+        router.tighten(0, 100, 200)
+        assert router.shards_for_range(400, 600) == []
+
+    @given(
+        bounds=st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)).map(
+                lambda pair: (min(pair), max(pair))
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        lo=st.integers(-100, 10_100),
+        width=st.integers(0, 2_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pruning_is_conservative_at_boundaries(self, bounds, lo, width):
+        """A shard is skipped only when it provably holds no match.
+
+        The property covers exact-boundary predicates (``hi == mn`` and
+        ``lo == mx`` must route to the shard) because ``lo``/``width``
+        sweep across the bound endpoints.
+        """
+        router = ShardRouter(bounds)
+        hi = lo + width
+        routed = set(router.shards_for_range(lo, hi))
+        for index, (mn, mx) in enumerate(bounds):
+            overlaps = mn <= hi and mx >= lo
+            assert (index in routed) == overlaps
+
+    def test_routed_shards_match_data_with_real_partition(self):
+        """Routing over a built partition never loses a matching row."""
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 100_000, size=20 * VALUES_PER_PAGE)
+        specs = plan_partition(values.size, VALUES_PER_PAGE, 4)
+        slices = [values[s.row_start : s.row_end] for s in specs]
+        router = ShardRouter.from_slices(slices)
+        for lo, hi in [(0, 1_000), (50_000, 50_500), (99_000, 100_000)]:
+            routed = set(router.shards_for_range(lo, hi))
+            for spec, part in zip(specs, slices):
+                has_match = bool(((part >= lo) & (part <= hi)).any())
+                if has_match:
+                    assert spec.index in routed
