@@ -83,6 +83,29 @@ def shard_count() -> int:
     return value
 
 
+def session_count() -> int:
+    """User-requested session count (``REPRO_SESSIONS``, default 1).
+
+    Validated exactly like ``REPRO_SCALE``: it must be a positive
+    integer (a concurrency level of zero, negative or fractional
+    sessions is meaningless).  Consumed by the serving benchmark
+    (``python -m repro perf --serve``) as its default maximum
+    concurrency sweep.
+    """
+    raw = os.environ.get("REPRO_SESSIONS", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SESSIONS must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(
+            f"REPRO_SESSIONS must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
 def session_seed(shard: int | None = None) -> int:
     """User-requested session seed (``REPRO_SEED``, default 0).
 

@@ -406,61 +406,79 @@ def run_perf(
     sharded_pages: int | None = None,
     paper_scale: bool = False,
     paper_scale_pages: int = PAPER_SCALE_PAGES,
+    serve: bool = False,
+    serve_sessions: int | None = None,
+    serving_pages: int | None = None,
+    serve_only: bool = False,
 ) -> dict:
     """Run every microbenchmark; returns the ``BENCH_perf.json`` payload.
 
     ``sharded_pages`` sizes the sharded-scan column separately from the
     fast-path benchmarks (default: same as ``num_pages``);
-    ``paper_scale`` additionally runs the 1M-page native sharded scan.
+    ``paper_scale`` additionally runs the 1M-page native sharded scan;
+    ``serve`` additionally runs the serving-layer concurrency benchmark
+    (``serve_only`` runs nothing else — pair with ``merge=True`` in
+    :func:`write_perf_json` to refresh just that section).
     """
-    results = [
-        bench_scan(num_pages, iterations),
-        bench_view_creation(num_pages, iterations),
-        bench_maintenance(num_pages, iterations),
-        bench_maps_snapshot(num_pages, iterations),
-    ]
-    payload = {
-        "benchmark": "substrate fast paths (wall-clock)",
-        "pages": num_pages,
-        "iterations": iterations,
-        "results": [asdict(r) for r in results],
-    }
-    if shard_counts:
-        payload["sharded_scan"] = bench_sharded_scan(
-            sharded_pages or num_pages, iterations, shard_counts
-        )
-    if paper_scale:
-        payload["paper_scale"] = bench_paper_scale(
-            num_pages=paper_scale_pages,
-            num_shards=max(shard_counts) if shard_counts else 8,
+    payload: dict = {}
+    if not serve_only:
+        results = [
+            bench_scan(num_pages, iterations),
+            bench_view_creation(num_pages, iterations),
+            bench_maintenance(num_pages, iterations),
+            bench_maps_snapshot(num_pages, iterations),
+        ]
+        payload = {
+            "benchmark": "substrate fast paths (wall-clock)",
+            "pages": num_pages,
+            "iterations": iterations,
+            "results": [asdict(r) for r in results],
+        }
+        if shard_counts:
+            payload["sharded_scan"] = bench_sharded_scan(
+                sharded_pages or num_pages, iterations, shard_counts
+            )
+        if paper_scale:
+            payload["paper_scale"] = bench_paper_scale(
+                num_pages=paper_scale_pages,
+                num_shards=max(shard_counts) if shard_counts else 8,
+            )
+    if serve or serve_only:
+        from .serve import DEFAULT_SERVING_PAGES, bench_serving
+
+        payload["serving"] = bench_serving(
+            num_pages=serving_pages or DEFAULT_SERVING_PAGES,
+            max_sessions=serve_sessions,
         )
     return payload
 
 
 def render_perf(payload: dict) -> str:
     """Human-readable table for one ``run_perf`` payload."""
-    lines = [
-        f"Substrate fast-path microbenchmarks — {payload['pages']} pages, "
-        f"best of {payload['iterations']}",
-        "",
-        f"{'benchmark':<18} {'reference':>12} {'fast':>12} "
-        f"{'speedup':>8}  throughput",
-        "-" * 68,
-    ]
-    for r in payload["results"]:
-        lines.append(
-            f"{r['name']:<18} {r['reference_s'] * 1e3:>10.1f}ms "
-            f"{r['fast_s'] * 1e3:>10.1f}ms {r['speedup']:>7.1f}x  "
-            f"{r['throughput']:,.0f} {r['unit']}"
-        )
-    regressions = [r for r in payload["results"] if r["speedup"] < 1.0]
-    if regressions:
-        lines.append("")
-        lines.extend(
-            f"WARNING: {r['name']} fast path slower than reference "
-            f"({r['speedup']:.2f}x)"
-            for r in regressions
-        )
+    lines: list[str] = []
+    if "results" in payload:
+        lines = [
+            f"Substrate fast-path microbenchmarks — {payload['pages']} "
+            f"pages, best of {payload['iterations']}",
+            "",
+            f"{'benchmark':<18} {'reference':>12} {'fast':>12} "
+            f"{'speedup':>8}  throughput",
+            "-" * 68,
+        ]
+        for r in payload["results"]:
+            lines.append(
+                f"{r['name']:<18} {r['reference_s'] * 1e3:>10.1f}ms "
+                f"{r['fast_s'] * 1e3:>10.1f}ms {r['speedup']:>7.1f}x  "
+                f"{r['throughput']:,.0f} {r['unit']}"
+            )
+        regressions = [r for r in payload["results"] if r["speedup"] < 1.0]
+        if regressions:
+            lines.append("")
+            lines.extend(
+                f"WARNING: {r['name']} fast path slower than reference "
+                f"({r['speedup']:.2f}x)"
+                for r in regressions
+            )
     sharded = payload.get("sharded_scan")
     if sharded:
         lines.extend(
@@ -504,11 +522,48 @@ def render_perf(payload: dict) -> str:
                 f"{paper['rows']:,} rows)",
             ]
         )
+    serving = payload.get("serving")
+    if serving:
+        if lines:
+            lines.append("")
+        lines.extend(
+            [
+                f"Serving — {serving['pages']} pages, "
+                f"{serving['ops_per_session']} ops/session "
+                f"(1 write per {serving['write_every']}), wire protocol "
+                f"v{serving['protocol']}",
+                "",
+                f"{'sessions':>8} {'ops':>6} {'seconds':>10} "
+                f"{'qps':>10} {'read qps':>10}  oracle",
+                "-" * 56,
+            ]
+        )
+        for e in serving["entries"]:
+            lines.append(
+                f"{e['sessions']:>8} {e['ops']:>6} "
+                f"{e['seconds'] * 1e3:>8.1f}ms "
+                f"{e['qps']:>10,.0f} {e['read_qps']:>10,.0f}  "
+                f"{'ok' if e['oracle_ok'] else 'FAIL'}"
+            )
     return "\n".join(lines)
 
 
-def write_perf_json(payload: dict, path: str) -> None:
-    """Write the payload as pretty-printed JSON."""
+def write_perf_json(payload: dict, path: str, merge: bool = False) -> None:
+    """Write the payload as pretty-printed JSON.
+
+    ``merge=True`` folds the payload's top-level keys into an existing
+    file instead of overwriting it — so a serving-only rerun refreshes
+    its section without discarding committed sections (e.g. the
+    paper-scale run, which needs hardware this machine may not have).
+    """
+    if merge:
+        try:
+            with open(path) as f:
+                existing = json.load(f)
+        except (FileNotFoundError, json.JSONDecodeError):
+            existing = {}
+        existing.update(payload)
+        payload = existing
     with open(path, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")

@@ -1,0 +1,258 @@
+"""Serving-layer concurrency benchmark: queries/sec over the wire.
+
+``python -m repro perf --serve`` runs a mixed read/write workload
+against a real :class:`~repro.server.server.QueryServer` — N client
+threads, each with its own TCP connection and session — at increasing
+session counts, and reports wall-clock throughput per level.  Writers
+batch through the pending-update path (``autocommit=False`` plus a
+final ``commit``); every level ends with a quiescent full-domain query
+that is checked *exactly* against a numpy oracle (row count, value sum
+and the order-invariant result digest), so a concurrency bug can never
+masquerade as a throughput win.
+
+Each session writes only to its own disjoint row slice, which keeps the
+final database state deterministic under any thread interleaving while
+reads and writes still contend for the same tables, views and locks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..server.client import ServerClient
+from ..server.manager import DatabaseManager
+from ..server.options import SessionOptions
+from ..server.protocol import PROTOCOL_VERSION
+from ..server.response import result_digest
+from ..server.server import QueryServer
+from ..workloads.distributions import DEFAULT_DOMAIN, uniform
+from .harness import session_count, session_seed
+
+#: Default column size of the serving benchmark (pages).
+DEFAULT_SERVING_PAGES = 4096
+
+#: Session counts swept when ``REPRO_SESSIONS`` does not say otherwise.
+DEFAULT_SESSION_COUNTS = (1, 2, 4, 8)
+
+#: Operations each session performs per level.
+DEFAULT_OPS_PER_SESSION = 32
+
+#: Every Nth operation is a write (the rest are range queries).
+WRITE_EVERY = 4
+
+
+def _session_counts(max_sessions: int | None) -> tuple[int, ...]:
+    """The sweep: powers of two up to the requested maximum.
+
+    ``max_sessions=None`` consults ``REPRO_SESSIONS``; when that is 1
+    (the default) the standard 1/2/4/8 sweep runs.
+    """
+    if max_sessions is None:
+        max_sessions = session_count()
+    if max_sessions <= 1:
+        return DEFAULT_SESSION_COUNTS
+    counts = [n for n in (1, 2, 4, 8, 16, 32, 64) if n < max_sessions]
+    counts.append(max_sessions)
+    return tuple(counts)
+
+
+class _SessionWorker(threading.Thread):
+    """One client thread: connect, run the op mix, commit, disconnect."""
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        barrier: threading.Barrier,
+        ops: int,
+        row_slice: tuple[int, int],
+        seed: int,
+        num_rows: int,
+    ) -> None:
+        super().__init__(name=f"serve-bench-{index}", daemon=True)
+        self.index = index
+        self.host = host
+        self.port = port
+        self.barrier = barrier
+        self.ops = ops
+        self.row_slice = row_slice
+        self.seed = seed
+        self.num_rows = num_rows
+        #: (row, value) writes in execution order, for the oracle.
+        self.writes: list[tuple[int, int]] = []
+        self.reads = 0
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            self._run()
+        except BaseException as exc:  # surfaced by the orchestrator
+            self.error = exc
+
+    def _run(self) -> None:
+        domain_lo, domain_hi = DEFAULT_DOMAIN
+        rng = np.random.default_rng((self.seed, self.index))
+        lo_row, hi_row = self.row_slice
+        client = ServerClient(
+            self.host,
+            self.port,
+            options=SessionOptions(autocommit=False),
+        )
+        try:
+            self.barrier.wait()
+            for op in range(self.ops):
+                if op % WRITE_EVERY == WRITE_EVERY - 1 and hi_row > lo_row:
+                    row = int(rng.integers(lo_row, hi_row))
+                    value = int(rng.integers(domain_lo, domain_hi + 1))
+                    response = client.update("t", "v", row, value)
+                    if not response.ok:
+                        raise AssertionError(
+                            f"write failed: {response.error}"
+                        )
+                    self.writes.append((row, value))
+                else:
+                    width = int((domain_hi - domain_lo) * 0.05)
+                    lo = int(rng.integers(domain_lo, domain_hi - width))
+                    response = client.query("t", "v", lo, lo + width)
+                    if not response.ok:
+                        raise AssertionError(
+                            f"read failed: {response.error}"
+                        )
+                    rows = response.data["rows"]
+                    if not 0 <= rows <= self.num_rows:
+                        raise AssertionError(
+                            f"read returned impossible row count {rows}"
+                        )
+                    self.reads += 1
+            response = client.commit()
+            if not response.ok:
+                raise AssertionError(f"commit failed: {response.error}")
+        finally:
+            client.close()
+
+
+def _oracle_check(
+    host: str, port: int, expected: np.ndarray
+) -> dict:
+    """Exact quiescent check of the final database state."""
+    domain_lo, domain_hi = DEFAULT_DOMAIN
+    with ServerClient(host, port) as client:
+        response = client.query("t", "v", domain_lo, domain_hi)
+        if not response.ok:
+            raise AssertionError(f"oracle query failed: {response.error}")
+        data = response.data
+    num_rows = int(expected.size)
+    digest = result_digest(
+        np.arange(num_rows, dtype=np.int64), expected
+    )
+    if data["rows"] != num_rows:
+        raise AssertionError(
+            f"oracle mismatch: {data['rows']} rows, expected {num_rows}"
+        )
+    if data["value_sum"] != int(expected.sum()):
+        raise AssertionError(
+            f"oracle mismatch: value_sum {data['value_sum']}, "
+            f"expected {int(expected.sum())}"
+        )
+    if data["checksum"] != digest:
+        raise AssertionError(
+            "oracle mismatch: result digest differs from the numpy oracle"
+        )
+    return {"rows": num_rows, "checksum": digest}
+
+
+def _run_level(
+    sessions: int,
+    values: np.ndarray,
+    ops_per_session: int,
+    seed: int,
+) -> dict:
+    """One concurrency level: fresh server, N workers, oracle check."""
+    manager = DatabaseManager()
+    db = manager.create_database()
+    db.create_table("t", {"v": values.copy()})
+    server = QueryServer(manager=manager)
+    try:
+        host, port = server.start()
+        num_rows = int(values.size)
+        chunk = num_rows // sessions
+        barrier = threading.Barrier(sessions + 1)
+        workers = [
+            _SessionWorker(
+                index=i,
+                host=host,
+                port=port,
+                barrier=barrier,
+                ops=ops_per_session,
+                row_slice=(i * chunk, (i + 1) * chunk),
+                seed=seed,
+                num_rows=num_rows,
+            )
+            for i in range(sessions)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        seconds = time.perf_counter() - started
+        for worker in workers:
+            if worker.error is not None:
+                raise worker.error
+
+        expected = values.copy()
+        for worker in workers:  # disjoint slices: order across workers free
+            for row, value in worker.writes:
+                expected[row] = value
+        oracle = _oracle_check(host, port, expected)
+
+        reads = sum(w.reads for w in workers)
+        writes = sum(len(w.writes) for w in workers)
+        ops = reads + writes + sessions  # + one commit per session
+        return {
+            "sessions": sessions,
+            "ops": ops,
+            "reads": reads,
+            "writes": writes,
+            "seconds": seconds,
+            "qps": ops / seconds if seconds > 0 else float("inf"),
+            "read_qps": reads / seconds if seconds > 0 else float("inf"),
+            "oracle_rows": oracle["rows"],
+            "oracle_ok": True,
+        }
+    finally:
+        server.stop()
+
+
+def bench_serving(
+    num_pages: int = DEFAULT_SERVING_PAGES,
+    max_sessions: int | None = None,
+    ops_per_session: int = DEFAULT_OPS_PER_SESSION,
+    seed: int | None = None,
+) -> dict:
+    """Sweep session counts over the wire server; the ``serving`` payload.
+
+    Every level runs the same seeded mixed workload (reads dominate,
+    one write every :data:`WRITE_EVERY` ops, commit at the end) against
+    a fresh server, then is oracle-checked exactly.
+    """
+    if seed is None:
+        seed = session_seed()
+    values = uniform(num_pages, seed=7)
+    entries = [
+        _run_level(sessions, values, ops_per_session, seed)
+        for sessions in _session_counts(max_sessions)
+    ]
+    return {
+        "pages": num_pages,
+        "ops_per_session": ops_per_session,
+        "write_every": WRITE_EVERY,
+        "protocol": PROTOCOL_VERSION,
+        "seed": seed,
+        "entries": entries,
+    }

@@ -263,6 +263,98 @@ def build_parser() -> argparse.ArgumentParser:
             "RAM to generate and hold the column)"
         ),
     )
+    perf.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "additionally run the serving-layer concurrency benchmark "
+            "(queries/sec over the wire at increasing session counts)"
+        ),
+    )
+    perf.add_argument(
+        "--serve-only",
+        action="store_true",
+        help=(
+            "run only the serving benchmark (pair with --merge to "
+            "refresh just the 'serving' section of an existing JSON)"
+        ),
+    )
+    perf.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        help=(
+            "max session count for the serving sweep (default: "
+            "REPRO_SESSIONS when set, else the 1/2/4/8 sweep)"
+        ),
+    )
+    perf.add_argument(
+        "--serving-pages",
+        type=int,
+        default=None,
+        help="column size in pages for the serving benchmark (default: 4096)",
+    )
+    perf.add_argument(
+        "--merge",
+        action="store_true",
+        help=(
+            "merge the payload's sections into the existing JSON file "
+            "instead of overwriting it"
+        ),
+    )
+
+    from .server.server import DEFAULT_HOST, DEFAULT_PORT
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the multi-session query server (newline-delimited JSON "
+            "over TCP; connect with python -m repro.sql --connect)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default=DEFAULT_HOST,
+        help=f"bind address (default: {DEFAULT_HOST})",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"bind port (default: {DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--db",
+        default="default",
+        help="name of the served database (default: 'default')",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the served database across N substrates (default: 1)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="admission cap on concurrent sessions (default: unbounded)",
+    )
+    serve.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help=(
+            "maps-line budget for the mapping governor; arms the "
+            "resilience layer so admission control degrades/sheds "
+            "under pressure"
+        ),
+    )
+    serve.add_argument(
+        "--observe",
+        action="store_true",
+        help="attach an observer (session metrics, admit/shed events)",
+    )
 
     subparsers.add_parser(
         "backends",
@@ -523,10 +615,45 @@ def _run_perf(args: argparse.Namespace) -> int:
         shard_counts=shard_counts,
         sharded_pages=args.sharded_pages,
         paper_scale=args.paper_scale,
+        serve=args.serve,
+        serve_sessions=args.sessions,
+        serving_pages=args.serving_pages,
+        serve_only=args.serve_only,
     )
     print(render_perf(payload))
-    write_perf_json(payload, args.json)
+    write_perf_json(payload, args.json, merge=args.merge)
     print(f"\n[results written to {args.json}]")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .resilience.policy import ResilienceConfig
+    from .server.admission import AdmissionPolicy
+    from .server.manager import DatabaseManager
+    from .server.server import QueryServer
+
+    manager = DatabaseManager()
+    db_kwargs: dict = {"observe": args.observe}
+    if args.budget is not None:
+        db_kwargs["resilience"] = ResilienceConfig(mapping_budget=args.budget)
+    manager.create_database(
+        args.db,
+        shards=args.shards,
+        policy=AdmissionPolicy(max_sessions=args.max_sessions),
+        **db_kwargs,
+    )
+    server = QueryServer(manager=manager, host=args.host, port=args.port)
+    host, port = server.start()
+    print(f"serving database {args.db!r} on {host}:{port}")
+    print("connect with: python -m repro.sql --connect "
+          f"{host}:{port}  (ctrl-c stops)")
+    try:
+        server.join()  # serve until interrupted
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+        manager.close()
     return 0
 
 
@@ -670,6 +797,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_resilience(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "calibrate":
         return _run_calibrate(args)
     if args.command == "trace":

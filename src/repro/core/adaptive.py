@@ -204,6 +204,45 @@ class AdaptiveStorageLayer:
         obs.on_query(stats)
         return QueryResult(rowids=routed.rowids, values=routed.values, stats=stats)
 
+    def scan_full(self, lo: int, hi: int) -> QueryResult:
+        """Answer ``[lo, hi]`` through the full view only — no routing,
+        no candidate generation, no view adaptation.
+
+        The always-correct fallback the serving layer downgrades to when
+        admission control refuses view-creating work: the full view maps
+        every physical page, so the scan never misses moved values and
+        the view catalog is left untouched.
+        """
+        if lo > hi:
+            raise ValueError(f"inverted query range [{lo}, {hi}]")
+        lo, hi = clamp_range(lo, hi)
+        cost = self.column.cost
+        obs = self.observer
+        with self._lock, cost.region() as region, obs.span(
+            "query", lo=lo, hi=hi, mode="full_scan"
+        ) as qspan:
+            routed = scan_views(
+                self.column, [self.view_index.full_view], lo, hi, observer=obs
+            )
+            qspan.set(
+                pages_scanned=routed.pages_scanned,
+                views_used=routed.views_used,
+                rows=int(routed.rowids.size),
+            )
+        stats = QueryStats(
+            lo=lo,
+            hi=hi,
+            sim_ns=region.lane_ns(MAIN_LANE),
+            pages_scanned=routed.pages_scanned,
+            views_used=routed.views_used,
+            result_rows=int(routed.rowids.size),
+            partial_views_after=self.view_index.num_partials,
+        )
+        obs.on_query(stats)
+        return QueryResult(
+            rowids=routed.rowids, values=routed.values, stats=stats
+        )
+
     def _note_write(self, row: int, fpage: int) -> None:
         """Pre-write hook: remember which pages the pending batch touched."""
         self._dirty_fpages.add(fpage)

@@ -20,6 +20,7 @@ from ..vm.cost import CostModel
 from ..vm.physical import PhysicalMemory
 from .adaptive import AdaptiveStorageLayer, QueryResult
 from .config import AdaptiveConfig
+from .snapshot import ColumnSnapshot, SnapshotManager
 from .stats import MaintenanceStats
 
 
@@ -83,6 +84,7 @@ class AdaptiveDatabase:
         #: None when the subsystem is off.
         self.resilience_config = resilience
         self._layers: dict[tuple[str, str], AdaptiveStorageLayer] = {}
+        self._snapshot_managers: dict[tuple[str, str], SnapshotManager] = {}
 
     @property
     def cost(self) -> CostModel:
@@ -98,6 +100,10 @@ class AdaptiveDatabase:
     def table(self, name: str) -> Table:
         """Look up a table."""
         return self.catalog.get_table(name)
+
+    def table_names(self) -> list[str]:
+        """Names of all tables, in creation order."""
+        return [table.name for table in self.catalog.tables()]
 
     def layer(self, table_name: str, column_name: str) -> AdaptiveStorageLayer:
         """The adaptive storage layer of one column (created on demand)."""
@@ -134,6 +140,44 @@ class AdaptiveDatabase:
             result.values = result.values[keep]
             result.stats.result_rows = int(result.rowids.size)
         return result
+
+    def scan(
+        self, table_name: str, column_name: str, lo: int, hi: int
+    ) -> QueryResult:
+        """Full-view scan of ``[lo, hi]``: no routing, no view adaptation.
+
+        The serving layer's downgrade path — always correct (the full
+        view maps every page, so pending updates are visible and moved
+        values are never missed) and side-effect free on the view
+        catalog.  Tombstoned rows are filtered like :meth:`query`.
+        """
+        table = self.table(table_name)
+        result = self.layer(table_name, column_name).scan_full(lo, hi)
+        keep = table.live_row_mask(result.rowids)
+        if keep is not None:
+            result.rowids = result.rowids[keep]
+            result.values = result.values[keep]
+            result.stats.result_rows = int(result.rowids.size)
+        return result
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, table_name: str, column_name: str) -> ColumnSnapshot:
+        """Pin a point-in-time snapshot of one column.
+
+        The snapshot starts as a single shared mapping (no copying);
+        pages the live column later overwrites are preserved
+        copy-on-write, so the snapshot always reads the column exactly
+        as it was at creation time.  Release it (or close the database)
+        when done.
+        """
+        key = (table_name, column_name)
+        manager = self._snapshot_managers.get(key)
+        if manager is None:
+            column = self.table(table_name).column(column_name)
+            manager = SnapshotManager(column)
+            self._snapshot_managers[key] = manager
+        return manager.create_snapshot()
 
     def explain(
         self,
@@ -289,12 +333,26 @@ class AdaptiveDatabase:
             },
         }
 
+    # -- cost --------------------------------------------------------------
+
+    def total_sim_ns(self) -> float:
+        """Accumulated simulated main-lane time of the whole database.
+
+        Uncharged bookkeeping read; the serving layer uses before/after
+        deltas of this to attribute simulated cost to requests.
+        """
+        return self.cost.ledger.lane_ns()
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down all layers (stops background mapping threads) and
-        release backend resources (real mappings and file descriptors on
-        the native backend; a no-op on the simulated one)."""
+        """Shut down all layers (stops background mapping threads),
+        release pinned snapshots, and release backend resources (real
+        mappings and file descriptors on the native backend; a no-op on
+        the simulated one)."""
+        for manager in self._snapshot_managers.values():
+            manager.close()
+        self._snapshot_managers.clear()
         for layer in self._layers.values():
             layer.shutdown()
         self._layers.clear()

@@ -91,14 +91,30 @@ class QueryEngine:
 
     # -- selection -----------------------------------------------------------
 
-    def select(self, column_name: str, lo: int, hi: int) -> QueryResult:
+    def select(
+        self, column_name: str, lo: int, hi: int, full_scan: bool = False
+    ) -> QueryResult:
         """getRecordsWithValue(keyRange) on one column, view-routed.
 
         Pending (unflushed) updates are aligned first — partial views
         must never serve stale page sets — and tombstoned rows are
         filtered from the result.
+
+        ``full_scan=True`` selects the degraded planner tier: the
+        predicate is answered through the full view only, with no view
+        adaptation and no update alignment (the full view reads the
+        physical pages directly, so it is never stale).  Admission
+        control uses this tier to keep serving under memory pressure.
         """
         layer = self.layer(column_name)
+        if full_scan:
+            result = layer.scan_full(lo, hi)
+            keep = self.table.live_row_mask(result.rowids)
+            if keep is not None:
+                result.rowids = result.rowids[keep]
+                result.values = result.values[keep]
+                result.stats.result_rows = int(result.rowids.size)
+            return result
         pending = self.table.pending_updates(column_name)
         if len(pending):
             layer.apply_updates(self.table.drain_updates(column_name))
@@ -111,7 +127,9 @@ class QueryEngine:
         return result
 
     def select_conjunction(
-        self, predicates: dict[str, tuple[int, int]]
+        self,
+        predicates: dict[str, tuple[int, int]],
+        full_scan: bool = False,
     ) -> np.ndarray:
         """Rows satisfying range predicates on several columns (AND).
 
@@ -123,7 +141,7 @@ class QueryEngine:
             raise ValueError("need at least one predicate")
         selections = []
         for column_name, (lo, hi) in predicates.items():
-            result = self.select(column_name, lo, hi)
+            result = self.select(column_name, lo, hi, full_scan=full_scan)
             selections.append(result.rowids)
         selections.sort(key=lambda rowids: rowids.size)
         intersection = selections[0]

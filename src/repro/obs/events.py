@@ -55,6 +55,12 @@ TOPIC_DRIFT = "obs.cost_drift"
 #: gather that merges them).
 TOPIC_SHARD = "shard.gather"
 
+#: Topic of admitted serving sessions (includes downgraded admissions).
+TOPIC_SERVER_ADMIT = "server.admit"
+
+#: Topic of shed serving sessions (admission refusals, with reason).
+TOPIC_SERVER_SHED = "server.shed"
+
 #: Subscription wildcard: receive every topic.
 ALL_TOPICS = "*"
 

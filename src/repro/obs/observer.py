@@ -30,6 +30,8 @@ from .events import (
     TOPIC_QUERY,
     TOPIC_REBUILD,
     TOPIC_RETRY,
+    TOPIC_SERVER_ADMIT,
+    TOPIC_SERVER_SHED,
     TOPIC_SHARD,
     TOPIC_VIEW_LIFECYCLE,
     EventBus,
@@ -138,6 +140,22 @@ class NullObserver:
         self, shards: int, of: int, rows: int, sim_ns: float
     ) -> None:
         """Hook: a scatter-gather merged ``shards`` of ``of`` shards."""
+
+    def on_session_open(
+        self, session_id: int, decision: str, active: int
+    ) -> None:
+        """Hook: admission control admitted one serving session."""
+
+    def on_session_close(self, session_id: int, active: int) -> None:
+        """Hook: one serving session closed (slot released)."""
+
+    def on_session_shed(self, reason: str) -> None:
+        """Hook: admission control refused one serving session."""
+
+    def on_server_request(
+        self, op: str, session_id: int, sim_ns: float
+    ) -> None:
+        """Hook: one server request finished (any operation)."""
 
 
 #: The shared disabled observer (observation off, the default).
@@ -255,6 +273,23 @@ class Observer(NullObserver):
             "shard_gather_fanout",
             "Shards visited per scatter-gather execution",
             VIEWS_USED_BUCKETS,
+        )
+        self._sessions_active = m.gauge(
+            "sessions_active", "Serving sessions currently open"
+        )
+        self._sessions_opened = m.counter(
+            "sessions_opened_total", "Sessions admitted, by decision"
+        )
+        self._sessions_rejected = m.counter(
+            "sessions_rejected_total", "Sessions shed by admission, by reason"
+        )
+        self._server_requests = m.counter(
+            "server_requests_total", "Server requests served, by operation"
+        )
+        self._server_request_ns = m.histogram(
+            "server_request_sim_ns",
+            "Simulated time charged per server request",
+            SIM_NS_BUCKETS,
         )
 
     def span(self, name: str, **attrs: object) -> ContextManager[Span]:
@@ -400,6 +435,33 @@ class Observer(NullObserver):
         self.events.publish(
             TOPIC_SHARD, shards=shards, of=of, rows=rows, sim_ns=sim_ns
         )
+
+    # -- serving hooks --------------------------------------------------
+
+    def on_session_open(
+        self, session_id: int, decision: str, active: int
+    ) -> None:
+        self._sessions_active.set(active)
+        self._sessions_opened.inc(decision=decision)
+        self.events.publish(
+            TOPIC_SERVER_ADMIT,
+            session_id=session_id,
+            decision=decision,
+            active=active,
+        )
+
+    def on_session_close(self, session_id: int, active: int) -> None:
+        self._sessions_active.set(active)
+
+    def on_session_shed(self, reason: str) -> None:
+        self._sessions_rejected.inc(reason=reason)
+        self.events.publish(TOPIC_SERVER_SHED, reason=reason)
+
+    def on_server_request(
+        self, op: str, session_id: int, sim_ns: float
+    ) -> None:
+        self._server_requests.inc(op=op)
+        self._server_request_ns.observe(sim_ns, op=op)
 
     # -- SQL hooks ------------------------------------------------------
 

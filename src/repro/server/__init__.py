@@ -1,0 +1,47 @@
+"""Multi-session serving layer: sessions, admission control, wire server.
+
+The entry points:
+
+* :class:`~repro.server.manager.DatabaseManager` — registry of served
+  databases; :meth:`~repro.server.manager.DatabaseManager.open_session`
+  runs admission control and hands out sessions.
+* :class:`~repro.server.session.Session` — SQL + structured operations
+  under one database's request lock, with read-only / autocommit /
+  planner disciplines and pinned snapshot reads.
+* :class:`~repro.server.server.QueryServer` /
+  :class:`~repro.server.client.ServerClient` — the newline-delimited
+  JSON wire protocol over TCP (``python -m repro serve``).
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    SessionShed,
+)
+from .client import ServerClient
+from .manager import DEFAULT_DB, DatabaseManager
+from .options import PLANNER_ADAPTIVE, PLANNER_FULLSCAN, SessionOptions
+from .response import Response, render_response, result_digest
+from .server import DEFAULT_HOST, DEFAULT_PORT, QueryServer
+from .session import Session
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "DEFAULT_DB",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DatabaseManager",
+    "PLANNER_ADAPTIVE",
+    "PLANNER_FULLSCAN",
+    "QueryServer",
+    "Response",
+    "ServerClient",
+    "Session",
+    "SessionOptions",
+    "SessionShed",
+    "render_response",
+    "result_digest",
+]

@@ -1,0 +1,155 @@
+"""The wire client: a remote session that duck-types the local one.
+
+:class:`ServerClient` opens one TCP connection to a
+:class:`~repro.server.server.QueryServer`, performs the ``open``
+handshake, and exposes the same operation surface as
+:class:`~repro.server.session.Session` — every method returns a
+:class:`~repro.server.response.Response` rebuilt from the wire, so
+callers (the REPL, the benchmark, tests) run unchanged against either.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .admission import SessionShed
+from .options import SessionOptions
+from .protocol import ProtocolError, decode, encode, response_from_wire
+from .response import Response
+
+
+class ServerClient:
+    """One remote session over a persistent TCP connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        db: str = "default",
+        options: SessionOptions | None = None,
+        timeout: float | None = 30.0,
+    ) -> None:
+        self.options = options or SessionOptions()
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._closed = False
+        greeting = self._roundtrip(
+            {"op": "open", "db": db, "options": self.options.to_mapping()}
+        )
+        if not greeting.ok:
+            self.close()
+            if greeting.data.get("shed"):
+                from ..resilience.policy import HealthState
+
+                raise SessionShed(
+                    str(greeting.data.get("reason", "shed")),
+                    HealthState(greeting.data.get("health", "readonly")),
+                )
+            raise RuntimeError(greeting.error or "open failed")
+        self.session_id = greeting.session_id
+        self.db_name = str(greeting.data.get("db", db))
+        self.degraded = bool(greeting.data.get("degraded", False))
+        self.admit_reason = str(greeting.data.get("admit_reason", ""))
+
+    # -- plumbing -------------------------------------------------------
+
+    def _roundtrip(self, request: dict) -> Response:
+        if self._closed:
+            raise RuntimeError("client connection is closed")
+        self._file.write(encode(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return response_from_wire(decode(line))
+
+    # -- the Session surface --------------------------------------------
+
+    def execute(self, sql: str) -> Response:
+        return self._roundtrip({"op": "sql", "sql": sql})
+
+    def query(
+        self,
+        table: str,
+        column: str,
+        lo: int,
+        hi: int,
+        include_values: bool = False,
+    ) -> Response:
+        return self._roundtrip(
+            {
+                "op": "query",
+                "table": table,
+                "column": column,
+                "lo": lo,
+                "hi": hi,
+                "include_values": include_values,
+            }
+        )
+
+    def update(self, table: str, column: str, row: int, value: int) -> Response:
+        return self._roundtrip(
+            {
+                "op": "update",
+                "table": table,
+                "column": column,
+                "row": row,
+                "value": value,
+            }
+        )
+
+    def delete(self, table: str, column: str, lo: int, hi: int) -> Response:
+        return self._roundtrip(
+            {"op": "delete", "table": table, "column": column, "lo": lo, "hi": hi}
+        )
+
+    def flush(self, table: str, column: str | None = None) -> Response:
+        request: dict = {"op": "flush", "table": table}
+        if column is not None:
+            request["column"] = column
+        return self._roundtrip(request)
+
+    def commit(self) -> Response:
+        return self._roundtrip({"op": "commit"})
+
+    def snapshot(self, table: str, column: str) -> Response:
+        return self._roundtrip(
+            {"op": "snapshot", "table": table, "column": column}
+        )
+
+    def release_snapshot(self, table: str, column: str) -> Response:
+        return self._roundtrip(
+            {"op": "release_snapshot", "table": table, "column": column}
+        )
+
+    def status(self) -> Response:
+        return self._roundtrip({"op": "status"})
+
+    def accumulated_sim_ms(self) -> float:
+        """The served database's simulated main-lane time, in ms."""
+        status = self.status().raise_for_error()
+        return float(status.data["ledger_ns"]) / 1e6
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._file.write(encode({"op": "close"}))
+            self._file.flush()
+            self._file.readline()
+        except (OSError, ValueError):
+            pass  # connection already torn down
+        finally:
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

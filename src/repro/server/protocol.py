@@ -1,0 +1,94 @@
+"""The wire protocol: newline-delimited JSON over TCP.
+
+One JSON object per line, UTF-8.  The first client message must be an
+``open`` request carrying the database name and session options; every
+later request names an operation plus its arguments, and every request
+gets exactly one response object back:
+
+.. code-block:: text
+
+    C: {"op": "open", "db": "default", "options": {"autocommit": false}}
+    S: {"ok": true, "op": "open", "session_id": 1, "data": {...}}
+    C: {"op": "query", "table": "t", "column": "v", "lo": 10, "hi": 99}
+    S: {"ok": true, "op": "query", "data": {"rows": 90, ...}}
+
+Responses mirror :class:`~repro.server.response.Response` field for
+field; rows travel as JSON arrays and are rebuilt as tuples client-side
+so wire results compare equal to in-process ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .response import Response
+
+PROTOCOL_VERSION = 1
+#: Upper bound on one request/response line (sanity guard, not a quota).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Malformed wire traffic (bad JSON, missing op, oversized line)."""
+
+
+def encode(message: dict) -> bytes:
+    """One JSON object as a single wire line."""
+    line = json.dumps(message, separators=(",", ":"))
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds {MAX_LINE_BYTES}"
+        )
+    return data
+
+
+def decode(line: bytes) -> dict:
+    """Parse one wire line into a request/response mapping."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds {MAX_LINE_BYTES}"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def response_to_wire(response: Response) -> dict:
+    """Flatten a Response for the wire."""
+    return {
+        "ok": response.ok,
+        "op": response.op,
+        "session_id": response.session_id,
+        "sequence": response.sequence,
+        "columns": response.columns,
+        "rows": [list(row) for row in response.rows],
+        "message": response.message,
+        "error": response.error,
+        "error_details": response.error_details,
+        "sim_ns": response.sim_ns,
+        "data": response.data,
+    }
+
+
+def response_from_wire(message: dict) -> Response:
+    """Rebuild a Response from its wire form (rows back to tuples)."""
+    return Response(
+        ok=bool(message.get("ok", False)),
+        op=str(message.get("op", "")),
+        session_id=int(message.get("session_id", 0)),
+        sequence=int(message.get("sequence", 0)),
+        columns=list(message.get("columns") or []),
+        rows=[tuple(row) for row in (message.get("rows") or [])],
+        message=str(message.get("message", "")),
+        error=message.get("error"),
+        error_details=message.get("error_details"),
+        sim_ns=float(message.get("sim_ns", 0.0)),
+        data=dict(message.get("data") or {}),
+    )

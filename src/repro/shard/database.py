@@ -175,6 +175,10 @@ class ShardedDatabase:
         """The sharded column behind one attribute."""
         return self.table(table_name).column(column_name)
 
+    def table_names(self) -> list[str]:
+        """Names of all tables, in creation order."""
+        return list(self._tables)
+
     # -- queries ----------------------------------------------------------
 
     def query(
@@ -302,6 +306,19 @@ class ShardedDatabase:
             for op, count in sub_counters.items():
                 counters[op] = counters.get(op, 0) + count
         return lanes, counters
+
+    def total_sim_ns(self) -> float:
+        """Accumulated simulated main-lane time, summed over the shards.
+
+        Uncharged bookkeeping read mirroring
+        :meth:`repro.core.facade.AdaptiveDatabase.total_sim_ns`, so the
+        serving layer attributes per-request cost the same way on either
+        facade.
+        """
+        total = 0.0
+        for substrate in self.substrates:
+            total += substrate.cost.ledger.lane_ns()
+        return total
 
     # -- lifecycle ---------------------------------------------------------
 

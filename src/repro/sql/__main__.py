@@ -1,8 +1,29 @@
-"""``python -m repro.sql`` — interactive SQL shell."""
+"""``python -m repro.sql`` — interactive SQL shell.
 
+``--connect HOST:PORT`` attaches the shell to a running
+``python -m repro serve`` instance instead of an embedded database.
+"""
+
+import argparse
 import sys
 
 from .repl import run_repl
 
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse shell arguments and run the REPL; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.sql", description="interactive SQL shell"
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="attach to a running query server instead of an embedded database",
+    )
+    args = parser.parse_args(argv)
+    return run_repl(connect=args.connect)
+
+
 if __name__ == "__main__":
-    sys.exit(run_repl())
+    sys.exit(main())

@@ -71,6 +71,13 @@ class ResultTable:
         return format_table(self.columns, [list(row) for row in self.rows])
 
 
+#: Planner tiers: ``adaptive`` answers predicates through the adaptive
+#: view layer (warming views as a side-product); ``fullscan`` pins every
+#: predicate to the always-correct full-view scan — the degraded tier
+#: admission control downgrades to under memory pressure.
+PLANNER_TIERS = ("adaptive", "fullscan")
+
+
 class Session:
     """An interactive SQL session over an adaptive database."""
 
@@ -79,14 +86,29 @@ class Session:
         config: AdaptiveConfig | None = None,
         db: AdaptiveDatabase | None = None,
         observe: bool = False,
+        planner: str = "adaptive",
+        engines: dict[str, QueryEngine] | None = None,
+        owns_db: bool = True,
     ) -> None:
         """``observe=True`` attaches an observer to the session's
         database: statements get trace spans and metrics (see
         :mod:`repro.obs`).  Ignored when an existing ``db`` is passed —
-        its own observation setting wins."""
+        its own observation setting wins.
+
+        ``engines=`` shares an externally owned table→engine registry
+        (the serving layer passes one per database so every session
+        routes through the same adaptive view layers); shared engines
+        are not closed by :meth:`close`.  ``owns_db=False`` likewise
+        leaves the database open on close.
+        """
         self.db = db or AdaptiveDatabase(config, observe=observe)
-        self._engines: dict[str, QueryEngine] = {}
+        self._owns_engines = engines is None
+        self._engines: dict[str, QueryEngine] = (
+            {} if engines is None else engines
+        )
+        self._owns_db = owns_db
         self._statistics = TableStatistics()
+        self.set_planner(planner)
         #: CREATE'd but not yet materialized tables: name -> (cols, rows).
         self._staged: dict[str, tuple[list[str], list[tuple[int, ...]]]] = {}
 
@@ -96,6 +118,15 @@ class Session:
     def observer(self):
         """The database's observer, or None when observation is off."""
         return self.db.observer
+
+    def set_planner(self, planner: str) -> None:
+        """Switch the planner tier for subsequent statements."""
+        if planner not in PLANNER_TIERS:
+            raise ValueError(
+                f"unknown planner tier {planner!r}; expected one of "
+                f"{PLANNER_TIERS}"
+            )
+        self.planner = planner
 
     def execute(self, sql: str) -> ResultTable:
         """Parse and execute one statement."""
@@ -110,11 +141,13 @@ class Session:
         return result
 
     def close(self) -> None:
-        """Shut down all engines and the database."""
-        for engine in self._engines.values():
-            engine.close()
-        self._engines.clear()
-        self.db.close()
+        """Shut down owned engines and, when owned, the database."""
+        if self._owns_engines:
+            for engine in self._engines.values():
+                engine.close()
+            self._engines.clear()
+        if self._owns_db:
+            self.db.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -255,7 +288,8 @@ class Session:
             return table.filter_live(np.arange(table.num_rows, dtype=np.int64))
         return table.filter_live(
             engine.select_conjunction(
-                {p.column: (p.lo, p.hi) for p in predicates.values()}
+                {p.column: (p.lo, p.hi) for p in predicates.values()},
+                full_scan=self.planner == "fullscan",
             )
         )
 

@@ -1,8 +1,14 @@
 """Interactive SQL shell: ``python -m repro.sql``.
 
-A minimal line-based REPL over :class:`~repro.sql.executor.Session`.
-Statements may span lines and end with ``;``.  Meta commands: ``\\q``
-quits, ``\\cost`` prints the session's accumulated simulated time.
+A minimal line-based REPL, now a thin client of the serving layer's
+session surface (:mod:`repro.server`): statements execute through a
+:class:`~repro.server.session.Session` — or, with ``connect=``, a
+:class:`~repro.server.client.ServerClient` speaking the wire protocol
+to a remote ``repro serve`` — and results render through the shared
+:func:`~repro.server.response.render_response`, so local and remote
+shells print byte-identical output.  Statements may span lines and end
+with ``;``.  Meta commands: ``\\q`` quits, ``\\cost`` prints the
+session's accumulated simulated time.
 """
 
 from __future__ import annotations
@@ -11,17 +17,49 @@ import sys
 from typing import IO
 
 from ..core.config import AdaptiveConfig
-from .errors import SqlError
-from .executor import Session
 
 PROMPT = "repro> "
 CONTINUATION = "  ...> "
+
+
+def _open_session(config: AdaptiveConfig | None, connect: str | None):
+    """A (session, closer) pair: local embedded or remote wire session.
+
+    The local session runs with ``autocommit=False`` — the classic REPL
+    never flushed behind the user's back; ``FLUSH VIEWS`` stays an
+    explicit statement.
+    """
+    from ..server.manager import DatabaseManager
+    from ..server.options import SessionOptions
+
+    options = SessionOptions(autocommit=False)
+    if connect is not None:
+        from ..server.client import ServerClient
+
+        host, _, port = connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"connect target must be HOST:PORT, got {connect!r}"
+            )
+        client = ServerClient(host, int(port), options=options)
+        return client, client.close
+
+    manager = DatabaseManager()
+    manager.create_database(config=config)
+    session = manager.open_session(options=options)
+
+    def closer() -> None:
+        session.close()
+        manager.close()
+
+    return session, closer
 
 
 def run_repl(
     stdin: IO[str] | None = None,
     stdout: IO[str] | None = None,
     config: AdaptiveConfig | None = None,
+    connect: str | None = None,
 ) -> int:
     """Run the shell until EOF or ``\\q``; returns the exit code."""
     stdin = stdin or sys.stdin
@@ -34,7 +72,14 @@ def run_repl(
     emit("repro SQL shell — adaptive storage views (CIDR 2023 reproduction)")
     emit("end statements with ';', \\cost shows simulated time, \\q quits")
 
-    with Session(config) as session:
+    from ..server.response import render_response
+
+    try:
+        session, closer = _open_session(config, connect)
+    except Exception as exc:  # connection refused, shed, bad target
+        emit(f"error: {exc}")
+        return 1
+    try:
         buffer: list[str] = []
         while True:
             if interactive:
@@ -47,7 +92,7 @@ def run_repl(
             if not buffer and stripped in ("\\q", "\\quit", "exit", "quit"):
                 break
             if not buffer and stripped == "\\cost":
-                total_ms = session.db.cost.ledger.lane_ns() / 1e6
+                total_ms = session.accumulated_sim_ms()
                 emit(f"accumulated simulated time: {total_ms:.3f} ms")
                 continue
             if not stripped:
@@ -57,16 +102,10 @@ def run_repl(
                 continue
             statement = "".join(buffer)
             buffer = []
-            try:
-                result = session.execute(statement)
-            except SqlError as exc:
-                emit(f"error: {exc}")
-                continue
-            if result.columns:
-                emit(result.pretty())
-                emit(f"({len(result)} rows)")
-            elif result.message:
-                emit(result.message)
+            response = session.execute(statement)
+            render_response(response, emit)
+    finally:
+        closer()
     emit("bye")
     return 0
 

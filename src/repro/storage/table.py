@@ -107,6 +107,17 @@ class Table:
             return rows
         return rows[~self._deleted[rows]]
 
+    def tombstone_mask(self) -> np.ndarray | None:
+        """Copy of the tombstone bitmap, or None when nothing is deleted.
+
+        Snapshot readers capture this at pin time so point-in-time reads
+        filter exactly the rows that were deleted *then*, regardless of
+        later deletions.
+        """
+        if not self._deleted.any():
+            return None
+        return self._deleted.copy()
+
     def live_row_mask(self, rows: np.ndarray) -> np.ndarray | None:
         """Boolean keep-mask for a selection, or None when nothing is
         deleted (the fast path)."""

@@ -15,6 +15,7 @@ from repro.bench.harness import (
     run_full_scan_sequence,
     scale_divisor,
     scaled_pages,
+    session_count,
     session_seed,
     shard_count,
     verify_runs_agree,
@@ -83,6 +84,32 @@ class TestShardCount:
             monkeypatch.setenv("REPRO_SHARDS", bad)
             with pytest.raises(ValueError, match="REPRO_SHARDS"):
                 shard_count()
+
+
+class TestSessionCount:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SESSIONS", raising=False)
+        assert session_count() == 1
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SESSIONS", "8")
+        assert session_count() == 8
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SESSIONS", "crowd")
+        with pytest.raises(ValueError, match="REPRO_SESSIONS"):
+            session_count()
+
+    def test_fractional_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SESSIONS", "1.5")
+        with pytest.raises(ValueError, match="REPRO_SESSIONS"):
+            session_count()
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        for bad in ("0", "-3"):
+            monkeypatch.setenv("REPRO_SESSIONS", bad)
+            with pytest.raises(ValueError, match="REPRO_SESSIONS"):
+                session_count()
 
 
 class TestSessionSeed:

@@ -1,0 +1,1 @@
+"""Serving-layer tests: sessions, admission, isolation, wire, parity."""

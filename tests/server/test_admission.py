@@ -1,0 +1,223 @@
+"""Admission control: the health state machine gates the serving layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.faults import FaultRule, FaultSchedule, FaultySubstrate
+from repro.resilience import HealthState, ResilienceConfig
+from repro.server import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    DatabaseManager,
+    SessionOptions,
+    SessionShed,
+)
+from repro.substrate import make_substrate
+from repro.vm.constants import VALUES_PER_PAGE
+
+NUM_PAGES = 8
+NUM_ROWS = NUM_PAGES * VALUES_PER_PAGE
+
+
+def _values() -> np.ndarray:
+    return np.arange(NUM_ROWS, dtype=np.int64)
+
+
+def _assert_correct(response, lo, hi):
+    """The response answers [lo, hi] exactly, whatever tier ran it."""
+    expected = np.arange(lo, min(hi, NUM_ROWS - 1) + 1, dtype=np.int64)
+    assert response.ok
+    assert response.data["rows"] == expected.size
+    assert response.data["value_sum"] == int(expected.sum())
+
+
+class TestPolicyValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="max_sessions"):
+            AdmissionPolicy(max_sessions=0)
+
+    def test_zero_journal_rejected(self):
+        with pytest.raises(ValueError, match="journal_capacity"):
+            AdmissionPolicy(journal_capacity=0)
+
+
+class TestCapacityShedding:
+    @pytest.fixture
+    def manager(self):
+        with DatabaseManager() as mgr:
+            db = mgr.create_database(
+                policy=AdmissionPolicy(max_sessions=2),
+                config=AdaptiveConfig(background_mapping=False),
+            )
+            db.create_table("t", {"x": _values()})
+            yield mgr
+
+    def test_capacity_cap_sheds_then_recovers(self, manager):
+        first = manager.open_session()
+        second = manager.open_session()
+        with pytest.raises(SessionShed) as excinfo:
+            manager.open_session()
+        assert excinfo.value.reason == "capacity"
+        assert excinfo.value.health is HealthState.HEALTHY
+        assert "capacity" in str(excinfo.value)
+
+        first.close()
+        third = manager.open_session()
+        assert third.admit_reason == "healthy"
+        third.close()
+        second.close()
+
+    def test_counters_and_journal_tell_the_story(self, manager):
+        admission = manager.admission()
+        sessions = [manager.open_session(), manager.open_session()]
+        with pytest.raises(SessionShed):
+            manager.open_session()
+        status = admission.status()
+        assert status.active == 2
+        assert status.admitted_total == 2
+        assert status.shed_total == 1
+        assert status.max_sessions == 2
+
+        journal = admission.journal()
+        assert [r.decision for r in journal] == [
+            AdmissionDecision.ADMIT,
+            AdmissionDecision.ADMIT,
+            AdmissionDecision.SHED,
+        ]
+        assert journal[-1].reason == "capacity"
+        assert journal[-1].kind == "session"
+        assert [r.sequence for r in journal] == [1, 2, 3]
+        for session in sessions:
+            session.close()
+        assert admission.status().active == 0
+
+    def test_journal_ring_is_bounded(self):
+        with DatabaseManager() as mgr:
+            db = mgr.create_database(
+                policy=AdmissionPolicy(journal_capacity=4)
+            )
+            db.create_table("t", {"x": _values()})
+            for _ in range(10):
+                mgr.open_session().close()
+            journal = mgr.admission().journal()
+            assert len(journal) == 4
+            assert journal[-1].sequence == 10
+
+
+class TestGovernorDegrade:
+    """A tight mapping budget downgrades sessions to the full-scan tier."""
+
+    @pytest.fixture
+    def manager(self):
+        with DatabaseManager() as mgr:
+            db = mgr.create_database(
+                config=AdaptiveConfig(background_mapping=False),
+                resilience=ResilienceConfig(mapping_budget=1, seed=0),
+            )
+            db.create_table("t", {"x": _values()})
+            yield mgr
+
+    def test_budget_pressure_degrades_queries_not_answers(self, manager):
+        db = manager.database()
+        with manager.open_session() as session:
+            lo, hi = 2 * VALUES_PER_PAGE, 3 * VALUES_PER_PAGE - 1
+            first = session.query("t", "x", lo, hi)
+            _assert_correct(first, lo, hi)
+            assert first.data["degraded"] is False
+            # The one budgeted view now exists: the governor is saturated.
+            assert db.health() is HealthState.DEGRADED
+
+            second = session.query("t", "x", lo, hi)
+            _assert_correct(second, lo, hi)
+            assert second.data["degraded"] is True
+
+    def test_new_sessions_latch_the_degraded_tier(self, manager):
+        db = manager.database()
+        with manager.open_session() as warm:
+            warm.query("t", "x", 0, VALUES_PER_PAGE - 1)
+        assert db.health() is HealthState.DEGRADED
+
+        with manager.open_session() as session:
+            assert session.degraded is True
+            assert session.admit_reason == "degraded"
+            response = session.query("t", "x", 100, 900)
+            _assert_correct(response, 100, 900)
+            assert response.data["degraded"] is True
+        assert manager.admission().status().downgraded_total >= 1
+
+    def test_query_downgrades_are_journaled(self, manager):
+        with manager.open_session() as session:
+            session.query("t", "x", 0, VALUES_PER_PAGE - 1)
+            session.query("t", "x", 0, 50)
+        records = [
+            r for r in manager.admission().journal() if r.kind == "query"
+        ]
+        assert records
+        assert all(
+            r.decision is AdmissionDecision.DEGRADE for r in records
+        )
+        assert records[-1].health is HealthState.DEGRADED
+
+
+class TestReadonlyShedding:
+    """A READONLY-latched database sheds new sessions outright."""
+
+    @pytest.fixture
+    def manager(self):
+        substrate = FaultySubstrate(make_substrate("simulated"))
+        db = AdaptiveDatabase(
+            config=AdaptiveConfig(background_mapping=False),
+            backend=substrate,
+            resilience=ResilienceConfig(seed=0, readonly_fault_threshold=2),
+        )
+        db.create_table("t", {"x": _values()})
+        db.layer("t", "x")
+        with DatabaseManager() as mgr:
+            mgr.add_database("armed", db)
+            yield mgr, substrate
+
+    def test_readonly_sheds_new_sessions(self, manager):
+        mgr, substrate = manager
+        db = mgr.database("armed")
+        survivor = mgr.open_session("armed")
+
+        substrate.schedule = FaultSchedule(
+            [FaultRule(ops="map_fixed", probability=1.0, transient=False)],
+            seed=0,
+        )
+        # Two failed candidate mappings latch the layer READONLY.
+        db.query("t", "x", 0, VALUES_PER_PAGE - 1)
+        db.query("t", "x", 0, 4 * VALUES_PER_PAGE - 1)
+        assert db.health() is HealthState.READONLY
+
+        with pytest.raises(SessionShed) as excinfo:
+            mgr.open_session("armed")
+        assert excinfo.value.reason == "readonly"
+        assert excinfo.value.health is HealthState.READONLY
+        assert mgr.admission("armed").journal()[-1].reason == "readonly"
+
+        # The pre-latch session keeps answering, downgraded per query.
+        response = survivor.query("t", "x", 10, 500)
+        _assert_correct(response, 10, 500)
+        assert response.data["degraded"] is True
+        survivor.close()
+
+
+class TestPlannerPin:
+    def test_fullscan_option_latches_without_pressure(self):
+        with DatabaseManager() as mgr:
+            db = mgr.create_database(
+                config=AdaptiveConfig(background_mapping=False)
+            )
+            db.create_table("t", {"x": _values()})
+            options = SessionOptions(planner="fullscan")
+            with mgr.open_session(options=options) as session:
+                assert session.degraded is True
+                assert session.admit_reason == "healthy"
+                response = session.query("t", "x", 0, 99)
+                _assert_correct(response, 0, 99)
+                assert response.data["degraded"] is True
+            # The pin is the session's own choice, not governor pressure.
+            assert db.health() is HealthState.HEALTHY

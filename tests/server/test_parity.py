@@ -1,0 +1,176 @@
+"""The parity contract: serving is free when nobody else is talking.
+
+A quiescent single-session server run must be *bit-identical in
+simulated cost* to driving :class:`AdaptiveDatabase` directly — the
+session envelope (admission checks, sequence counters, health probes,
+response digests) charges nothing.  Enforced on a fixed workload, over
+a real TCP socket, and fuzz-enforced over random op sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AdaptiveConfig
+from repro.core.facade import AdaptiveDatabase
+from repro.server import DatabaseManager, QueryServer, ServerClient, result_digest
+from repro.vm.constants import VALUES_PER_PAGE
+
+NUM_PAGES = 4
+NUM_ROWS = NUM_PAGES * VALUES_PER_PAGE
+
+
+def _values() -> np.ndarray:
+    return np.arange(NUM_ROWS, dtype=np.int64)
+
+
+def _config() -> AdaptiveConfig:
+    return AdaptiveConfig(background_mapping=False)
+
+
+def _apply_direct(db: AdaptiveDatabase, op: tuple) -> None:
+    """Replay one op the way the facade is driven without a server."""
+    kind = op[0]
+    if kind == "query":
+        lo, hi = sorted(op[1:])
+        db.query("t", "x", lo, hi)
+    elif kind == "update":
+        _, row, value = op
+        try:
+            db.update("t", "x", row, value)
+        except KeyError:
+            return  # deleted row: the session surfaces the same error
+        db.flush_updates("t", "x")  # what an autocommit session does
+    elif kind == "delete":
+        lo, hi = sorted(op[1:])
+        db.delete("t", "x", lo, hi)
+
+
+def _apply_session(session, op: tuple) -> None:
+    kind = op[0]
+    if kind == "query":
+        lo, hi = sorted(op[1:])
+        session.query("t", "x", lo, hi).raise_for_error()
+    elif kind == "update":
+        _, row, value = op
+        response = session.update("t", "x", row, value)
+        if not response.ok and "deleted row" not in response.error:
+            response.raise_for_error()
+    elif kind == "delete":
+        lo, hi = sorted(op[1:])
+        session.delete("t", "x", lo, hi).raise_for_error()
+
+
+def _direct_ledger(ops) -> tuple:
+    with AdaptiveDatabase(config=_config()) as db:
+        db.create_table("t", {"x": _values()})
+        for op in ops:
+            _apply_direct(db, op)
+        lanes, counters = db.cost.ledger.snapshot()
+    return dict(lanes), dict(counters)
+
+
+def _served_ledger(ops, via_tcp: bool = False) -> tuple:
+    with DatabaseManager() as manager:
+        db = manager.create_database(config=_config())
+        db.create_table("t", {"x": _values()})
+        if via_tcp:
+            with QueryServer(manager=manager) as server:
+                host, port = server.address
+                with ServerClient(host, port) as client:
+                    for op in ops:
+                        _apply_session(client, op)
+                    client.status().raise_for_error()  # envelope: free
+        else:
+            with manager.open_session() as session:
+                for op in ops:
+                    _apply_session(session, op)
+                session.status().raise_for_error()
+        lanes, counters = db.cost.ledger.snapshot()
+    return dict(lanes), dict(counters)
+
+
+FIXED_WORKLOAD = [
+    ("query", 10, 400),
+    ("query", VALUES_PER_PAGE, 3 * VALUES_PER_PAGE),
+    ("update", 7, 999_999),
+    ("query", 0, NUM_ROWS - 1),
+    ("delete", 50, 80),
+    ("query", 10, 400),
+    ("update", 200, 1_234),
+    ("query", 100, 2_000),
+]
+
+
+class TestFixedWorkloadParity:
+    def test_in_process_session_is_cost_identical(self):
+        assert _served_ledger(FIXED_WORKLOAD) == _direct_ledger(
+            FIXED_WORKLOAD
+        )
+
+    def test_tcp_session_is_cost_identical(self):
+        assert _served_ledger(FIXED_WORKLOAD, via_tcp=True) == _direct_ledger(
+            FIXED_WORKLOAD
+        )
+
+    def test_results_match_over_the_wire(self):
+        """Same bytes, not just the same bill: the wire checksum equals
+        the digest of the direct result."""
+        with AdaptiveDatabase(config=_config()) as db:
+            db.create_table("t", {"x": _values()})
+            for op in FIXED_WORKLOAD:
+                _apply_direct(db, op)
+            direct = db.query("t", "x", 0, 2_000_000)
+            digest = result_digest(direct.rowids, direct.values)
+
+        with DatabaseManager() as manager:
+            served = manager.create_database(config=_config())
+            served.create_table("t", {"x": _values()})
+            with QueryServer(manager=manager) as server:
+                host, port = server.address
+                with ServerClient(host, port) as client:
+                    for op in FIXED_WORKLOAD:
+                        _apply_session(client, op)
+                    response = client.query("t", "x", 0, 2_000_000)
+        assert response.data["checksum"] == digest
+
+
+_op = st.one_of(
+    st.tuples(
+        st.just("query"),
+        st.integers(0, NUM_ROWS - 1),
+        st.integers(0, NUM_ROWS - 1),
+    ),
+    st.tuples(
+        st.just("update"),
+        st.integers(0, NUM_ROWS - 1),
+        st.integers(0, 2 * NUM_ROWS),
+    ),
+    st.tuples(
+        st.just("delete"),
+        st.integers(0, NUM_ROWS - 1),
+        st.integers(0, NUM_ROWS - 1),
+    ),
+)
+
+
+class TestFuzzedParity:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=st.lists(_op, max_size=10))
+    def test_random_workloads_are_cost_identical(self, ops):
+        assert _served_ledger(ops) == _direct_ledger(ops)
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops=st.lists(_op, min_size=1, max_size=6))
+    def test_status_and_health_probes_charge_nothing(self, ops):
+        with DatabaseManager() as manager:
+            db = manager.create_database(config=_config())
+            db.create_table("t", {"x": _values()})
+            with manager.open_session() as session:
+                for op in ops:
+                    _apply_session(session, op)
+                before = db.cost.ledger.snapshot()
+                for _ in range(3):
+                    session.status().raise_for_error()
+                    db.health()
+                assert db.cost.ledger.snapshot() == before

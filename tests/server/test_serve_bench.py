@@ -1,0 +1,58 @@
+"""The serving benchmark: sweep shape, op accounting, oracle checks."""
+
+import pytest
+
+from repro.bench.serve import (
+    DEFAULT_SESSION_COUNTS,
+    WRITE_EVERY,
+    _session_counts,
+    bench_serving,
+)
+from repro.server.protocol import PROTOCOL_VERSION
+
+
+class TestSessionSweep:
+    def test_default_sweep(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SESSIONS", raising=False)
+        assert _session_counts(None) == DEFAULT_SESSION_COUNTS
+
+    def test_env_sets_the_maximum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SESSIONS", "2")
+        assert _session_counts(None) == (1, 2)
+
+    def test_explicit_maximum_wins(self):
+        assert _session_counts(8) == (1, 2, 4, 8)
+        assert _session_counts(6) == (1, 2, 4, 6)
+        assert _session_counts(1) == DEFAULT_SESSION_COUNTS
+
+
+class TestBenchServing:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return bench_serving(
+            num_pages=32, max_sessions=2, ops_per_session=8, seed=11
+        )
+
+    def test_payload_shape(self, payload):
+        assert payload["pages"] == 32
+        assert payload["ops_per_session"] == 8
+        assert payload["write_every"] == WRITE_EVERY
+        assert payload["protocol"] == PROTOCOL_VERSION
+        assert payload["seed"] == 11
+        assert [e["sessions"] for e in payload["entries"]] == [1, 2]
+
+    def test_every_level_is_oracle_checked(self, payload):
+        for entry in payload["entries"]:
+            assert entry["oracle_ok"] is True
+            assert entry["oracle_rows"] > 0
+
+    def test_op_accounting(self, payload):
+        for entry in payload["entries"]:
+            sessions = entry["sessions"]
+            # 8 ops each, every 4th a write: 2 writes, 6 reads per session.
+            assert entry["writes"] == 2 * sessions
+            assert entry["reads"] == 6 * sessions
+            assert entry["ops"] == entry["reads"] + entry["writes"] + sessions
+            assert entry["seconds"] > 0
+            assert entry["qps"] > 0
+            assert entry["read_qps"] > 0

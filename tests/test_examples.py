@@ -57,6 +57,13 @@ class TestExamples:
         assert "query " in out and "scan-view" in out
         assert "queries_total 24" in out
 
+    def test_served_session(self):
+        out = run_example("served_session.py")
+        assert "snapshot 1 pinned" in out
+        assert "repeatable read = True" in out
+        assert "writer sees the moved state = True" in out
+        assert "session shed (capacity; health=healthy)" in out
+
     def test_checkpoint_and_replay(self):
         out = run_example("checkpoint_and_replay.py")
         assert "no cold start" in out
