@@ -136,6 +136,90 @@ class InvariantAuditor:
             )
         report.maps_regions += substrate.maps_line_count(path)
 
+        if getattr(column.file, "tier_of", None) is not None:
+            self._audit_tier_placement(column.file, label, report)
+
+    def _audit_tier_placement(self, store, label: str, report: AuditReport) -> None:
+        """Tier-placement invariant over a :class:`TieredPageStore`.
+
+        Every page lives in exactly one tier, the hot count never
+        exceeds budget plus recorded debt (debt only exists after spill
+        failures), and each cold page's far-tier copy matches the
+        authoritative page contents bit for bit.
+        """
+        num_pages = int(store.num_pages)
+
+        report.checks += 1
+        if store.hot.size != num_pages or store.hits.size != num_pages:
+            report.add_finding(
+                "tier-placement",
+                f"placement arrays cover {store.hot.size} pages, "
+                f"store holds {num_pages}",
+                label=label,
+            )
+            return
+
+        # Exactly one tier: the cold set is the complement of the hot set.
+        report.checks += 1
+        cold_pages = np.array(store.cold.pages(), dtype=np.int64)
+        expected_cold = np.nonzero(~store.hot)[0].astype(np.int64)
+        if not np.array_equal(cold_pages, expected_cold):
+            leaked = np.setdiff1d(cold_pages, expected_cold).tolist()
+            lost = np.setdiff1d(expected_cold, cold_pages).tolist()
+            report.add_finding(
+                "tier-placement",
+                f"cold tier diverges from placement (cold copies of hot "
+                f"pages: {leaked}, cold pages without copies: {lost})",
+                label=label,
+            )
+
+        # Budget: hot count within budget plus recorded debt, and debt
+        # only ever stems from spill failures.
+        budget = store.governor.budget
+        if budget is not None:
+            report.checks += 1
+            hot = store.hot_count()
+            if hot > budget + store.governor.debt:
+                report.add_finding(
+                    "tier-placement",
+                    f"{hot} hot pages exceed budget {budget} "
+                    f"plus debt {store.governor.debt}",
+                    label=label,
+                )
+            report.checks += 1
+            if store.governor.debt > 0 and store.spill_failures == 0:
+                report.add_finding(
+                    "tier-placement",
+                    f"governor carries debt {store.governor.debt} "
+                    f"without any spill failure",
+                    label=label,
+                )
+
+        # Cold-copy agreement: the far-tier copy (spill file on native)
+        # matches the authoritative page contents.
+        content_budget = (
+            self.max_content_pages
+            if self.max_content_pages is not None
+            else int(expected_cold.size)
+        )
+        for fpage in expected_cold.tolist():
+            if fpage not in store.cold:
+                continue  # already reported above
+            if content_budget <= 0:
+                break
+            content_budget -= 1
+            report.checks += 1
+            cold_copy = store.cold.read_page(fpage)
+            direct = np.asarray(store.page_values(fpage))
+            if not np.array_equal(cold_copy, direct):
+                report.add_finding(
+                    "tier-placement",
+                    f"cold copy of page {fpage} differs from the "
+                    f"authoritative page contents",
+                    label=label,
+                    fpage=fpage,
+                )
+
     def _audit_one_view(
         self,
         column,

@@ -106,6 +106,31 @@ def session_count() -> int:
     return value
 
 
+def tier_budget() -> int | None:
+    """User-requested hot-page budget (``REPRO_TIER_BUDGET``, default None).
+
+    Validated exactly like ``REPRO_SCALE``: when set, it must be a
+    positive integer (a hot budget of zero, negative or fractional
+    pages is meaningless).  Consumed by the tiered-scan benchmark
+    (``python -m repro perf --tiered``) as its default hot-page budget;
+    unset means the benchmark sweeps its built-in budget fractions.
+    """
+    raw = os.environ.get("REPRO_TIER_BUDGET")
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TIER_BUDGET must be a positive integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(
+            f"REPRO_TIER_BUDGET must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
 def session_seed(shard: int | None = None) -> int:
     """User-requested session seed (``REPRO_SEED``, default 0).
 

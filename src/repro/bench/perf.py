@@ -399,6 +399,102 @@ def bench_paper_scale(
     }
 
 
+#: Hot-budget fractions the tiered-scan benchmark sweeps by default
+#: (1.0 = everything resident = the untiered regime's placement).
+DEFAULT_TIER_FRACTIONS = (1.0, 0.5, 0.25, 0.1)
+
+#: Queries per timed tiered-scan call.
+TIERED_QUERIES = 32
+
+
+def bench_tiered_scan(
+    num_pages: int,
+    iterations: int,
+    budget: int | None = None,
+    fractions: tuple[float, ...] = DEFAULT_TIER_FRACTIONS,
+    backend: str = "simulated",
+    queries: int = TIERED_QUERIES,
+) -> dict:
+    """Wall-clock the tiered page store across hot-budget levels.
+
+    One nearly-sorted column, one seeded narrow-predicate workload
+    (reuses the sharded benchmark's generator, so ``REPRO_SEED`` applies
+    here too), replayed against an untiered baseline and then under
+    shrinking hot budgets.  Each tiered entry reports the wall-clock
+    seconds, the hot-hit ratio the placement converged to, and the
+    promotion/demotion churn; row counts are cross-checked against the
+    untiered run — tiering must never change results.  An explicit
+    ``budget`` (``--tier-budget`` / ``REPRO_TIER_BUDGET``) replaces the
+    fraction sweep with that single budget level.  Returns the
+    ``tiered_scan`` payload section.
+    """
+    from ..core.facade import AdaptiveDatabase
+    from ..tier import TierConfig
+
+    values = linear(num_pages, seed=7)
+    ranges = _sharded_workload(queries)
+
+    def run_session(config: TierConfig | None) -> tuple[int, float, dict | None]:
+        db = AdaptiveDatabase(backend=backend, tiering=config)
+        try:
+            db.create_table("perf_tiered", {"v": values})
+
+            def run() -> int:
+                rows = 0
+                for lo, hi in ranges:
+                    result = db.query("perf_tiered", "v", lo, hi)
+                    rows += result.stats.result_rows
+                return rows
+
+            rows = run()  # warm-up: placement converges, views build
+            best = _best_of([run], iterations)
+            status = db.tier_status().get("perf_tiered.v")
+        finally:
+            db.close()
+        return rows, best, status
+
+    expected_rows, baseline_s, _ = run_session(None)
+    if budget is not None:
+        budgets = [min(budget, num_pages)]
+    else:
+        budgets = [
+            max(int(num_pages * fraction), 1) for fraction in fractions
+        ]
+    entries: list[dict] = []
+    for level in budgets:
+        rows, best, status = run_session(TierConfig(hot_budget=level))
+        if rows != expected_rows:
+            raise AssertionError(
+                f"tiered scan at budget {level} returned {rows} rows, "
+                f"expected {expected_rows} — tiering changed results"
+            )
+        entries.append(
+            {
+                "hot_budget": level,
+                "budget_fraction": level / num_pages,
+                "seconds": best,
+                "slowdown_vs_untiered": (
+                    best / baseline_s if baseline_s > 0 else float("inf")
+                ),
+                "rows": rows,
+                "hot_hit_ratio": status["hit_ratio"],
+                "hot_pages": status["hot_pages"],
+                "cold_pages": status["cold_pages"],
+                "promotions": status["promotions"],
+                "demotions": status["demotions"],
+            }
+        )
+    return {
+        "pages": num_pages,
+        "backend": backend,
+        "iterations": iterations,
+        "queries": queries,
+        "untiered_seconds": baseline_s,
+        "rows": expected_rows,
+        "entries": entries,
+    }
+
+
 def run_perf(
     num_pages: int = DEFAULT_PERF_PAGES,
     iterations: int = 3,
@@ -410,18 +506,24 @@ def run_perf(
     serve_sessions: int | None = None,
     serving_pages: int | None = None,
     serve_only: bool = False,
+    tiered: bool = False,
+    tiered_pages: int | None = None,
+    tier_budget_pages: int | None = None,
+    tiered_only: bool = False,
 ) -> dict:
     """Run every microbenchmark; returns the ``BENCH_perf.json`` payload.
 
     ``sharded_pages`` sizes the sharded-scan column separately from the
     fast-path benchmarks (default: same as ``num_pages``);
     ``paper_scale`` additionally runs the 1M-page native sharded scan;
-    ``serve`` additionally runs the serving-layer concurrency benchmark
-    (``serve_only`` runs nothing else — pair with ``merge=True`` in
-    :func:`write_perf_json` to refresh just that section).
+    ``serve`` additionally runs the serving-layer concurrency benchmark;
+    ``tiered`` additionally runs the tiered-scan budget sweep
+    (``serve_only`` / ``tiered_only`` run nothing else — pair with
+    ``merge=True`` in :func:`write_perf_json` to refresh just that
+    section).
     """
     payload: dict = {}
-    if not serve_only:
+    if not (serve_only or tiered_only):
         results = [
             bench_scan(num_pages, iterations),
             bench_view_creation(num_pages, iterations),
@@ -449,6 +551,12 @@ def run_perf(
         payload["serving"] = bench_serving(
             num_pages=serving_pages or DEFAULT_SERVING_PAGES,
             max_sessions=serve_sessions,
+        )
+    if tiered or tiered_only:
+        payload["tiered_scan"] = bench_tiered_scan(
+            tiered_pages or num_pages,
+            iterations,
+            budget=tier_budget_pages,
         )
     return payload
 
@@ -522,6 +630,30 @@ def render_perf(payload: dict) -> str:
                 f"{paper['rows']:,} rows)",
             ]
         )
+    tiered = payload.get("tiered_scan")
+    if tiered:
+        if lines:
+            lines.append("")
+        lines.extend(
+            [
+                f"Tiered scan — {tiered['pages']} pages, "
+                f"{tiered['queries']} queries, {tiered['backend']} "
+                f"backend, untiered baseline "
+                f"{tiered['untiered_seconds'] * 1e3:.1f}ms",
+                "",
+                f"{'budget':>8} {'fraction':>8} {'seconds':>12} "
+                f"{'slowdown':>9} {'hot-hit':>8}  promo/demo",
+                "-" * 60,
+            ]
+        )
+        for e in tiered["entries"]:
+            lines.append(
+                f"{e['hot_budget']:>8} {e['budget_fraction']:>8.2f} "
+                f"{e['seconds'] * 1e3:>10.1f}ms "
+                f"{e['slowdown_vs_untiered']:>8.2f}x "
+                f"{e['hot_hit_ratio']:>8.2f}  "
+                f"{e['promotions']}/{e['demotions']}"
+            )
     serving = payload.get("serving")
     if serving:
         if lines:

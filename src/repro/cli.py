@@ -295,6 +295,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="column size in pages for the serving benchmark (default: 4096)",
     )
     perf.add_argument(
+        "--tiered",
+        action="store_true",
+        help=(
+            "additionally run the tiered-scan benchmark (hot-budget "
+            "sweep with hot-hit ratios, cross-checked against an "
+            "untiered baseline)"
+        ),
+    )
+    perf.add_argument(
+        "--tiered-only",
+        action="store_true",
+        help=(
+            "run only the tiered-scan benchmark (pair with --merge to "
+            "refresh just the 'tiered_scan' section of an existing JSON)"
+        ),
+    )
+    perf.add_argument(
+        "--tiered-pages",
+        type=int,
+        default=None,
+        help=(
+            "column size in pages for the tiered-scan benchmark "
+            "(default: --pages)"
+        ),
+    )
+    perf.add_argument(
+        "--tier-budget",
+        type=int,
+        default=None,
+        help=(
+            "hot-page budget for the tiered-scan benchmark (default: "
+            "REPRO_TIER_BUDGET when set, else a 1.0/0.5/0.25/0.1 "
+            "budget-fraction sweep)"
+        ),
+    )
+    perf.add_argument(
         "--merge",
         action="store_true",
         help=(
@@ -596,7 +632,7 @@ def _run_metrics(args: argparse.Namespace) -> int:
 
 
 def _run_perf(args: argparse.Namespace) -> int:
-    from .bench.harness import shard_count
+    from .bench.harness import shard_count, tier_budget
     from .bench.perf import render_perf, run_perf, write_perf_json
 
     max_shards = args.shards
@@ -609,6 +645,12 @@ def _run_perf(args: argparse.Namespace) -> int:
     shard_counts = tuple(
         n for n in (1, 2, 4, 8, 16, 32, 64) if n <= max_shards
     )
+    budget = args.tier_budget
+    if budget is None:
+        budget = tier_budget()
+    elif budget <= 0:
+        print(f"error: --tier-budget must be positive, got {budget}")
+        return 2
     payload = run_perf(
         num_pages=args.pages,
         iterations=args.iterations,
@@ -619,6 +661,10 @@ def _run_perf(args: argparse.Namespace) -> int:
         serve_sessions=args.sessions,
         serving_pages=args.serving_pages,
         serve_only=args.serve_only,
+        tiered=args.tiered,
+        tiered_pages=args.tiered_pages,
+        tier_budget_pages=budget,
+        tiered_only=args.tiered_only,
     )
     print(render_perf(payload))
     write_perf_json(payload, args.json, merge=args.merge)

@@ -297,6 +297,12 @@ class AdaptiveStorageLayer:
             for view in stats.dropped_views:
                 self.view_index.discard(view)
             self._dirty_fpages.clear()
+            maintain = getattr(self.column.file, "maintenance", None)
+            if maintain is not None:
+                # Tiered storage: decay the hit counters and demote down
+                # to the hot budget alongside the view realignment
+                # (demote-on-realign).  Plain stores have no such hook.
+                maintain(self.column.cost)
             if res is not None:
                 # Views lost to permanent faults queue for rebuild, then
                 # the recovery pass runs: budget enforcement followed by
@@ -308,12 +314,29 @@ class AdaptiveStorageLayer:
                 stats.governor_evictions = cycle["evicted"]
             return stats
 
+    def rebind_storage(self, lane: str = MAIN_LANE) -> None:
+        """Rebuild every view after the column grew (write-buffer merge).
+
+        Runs under fault suppression: the merge already landed in the
+        physical pages, so the view catalog must come back consistent
+        unconditionally — exactly like rollback tear-down.
+        """
+        from ..faults.plane import suppress_faults
+
+        with self._lock:
+            with suppress_faults(self.column.substrate):
+                self.view_index.rebuild_for_growth(lane)
+            self._dirty_fpages.clear()
+
     # -- resilience surface --------------------------------------------------
 
     def health(self) -> HealthState:
         """The layer's health (HEALTHY when resilience is disarmed)."""
         with self._lock:
             if self.resilience is None:
+                tier_state = getattr(self.column.file, "tier_state", None)
+                if tier_state is not None and tier_state() != "healthy":
+                    return HealthState.DEGRADED
                 return HealthState.HEALTHY
             return self.resilience.health()
 

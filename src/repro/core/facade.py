@@ -8,20 +8,30 @@ batched update path that keeps all partial views aligned.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from typing import Mapping
 
 import numpy as np
 
 from ..obs.observer import Observer
 from ..resilience.policy import HealthState, ResilienceConfig, worst_health
+from ..storage import layout
+from ..storage.column import PhysicalColumn
+from ..storage.page import clamp_range
 from ..storage.table import Catalog, Table
 from ..substrate import Substrate, make_substrate
+from ..tier import TierConfig, TieredPageStore, WriteBuffer
 from ..vm.cost import CostModel
 from ..vm.physical import PhysicalMemory
 from .adaptive import AdaptiveStorageLayer, QueryResult
 from .config import AdaptiveConfig
 from .snapshot import ColumnSnapshot, SnapshotManager
 from .stats import MaintenanceStats
+
+#: Write-buffer auto-merge threshold for untiered databases (tiered
+#: databases configure it via :attr:`TierConfig.write_buffer_rows`).
+DEFAULT_WRITE_BUFFER_ROWS = 1024
 
 
 class AdaptiveDatabase:
@@ -36,6 +46,7 @@ class AdaptiveDatabase:
         observe: bool | Observer = False,
         backend: str | Substrate = "simulated",
         resilience: ResilienceConfig | None = None,
+        tiering: TierConfig | None = None,
     ) -> None:
         """``auto_flush_threshold`` enables automatic batch view
         realignment: once a column's pending update log reaches the
@@ -60,6 +71,13 @@ class AdaptiveDatabase:
         governor) on every storage layer.  Disarmed (the default), no
         resilience code runs and cost ledgers are bit-identical to a
         build without the subsystem.
+
+        ``tiering`` arms tiered page storage: every column the database
+        creates is wrapped in a
+        :class:`~repro.tier.TieredPageStore` whose hot-page budget the
+        tier governor enforces (see ``docs/tiering.md``).  Disarmed
+        (the default), storage stays untiered and cost ledgers are
+        bit-identical to a build without the subsystem.
         """
         if auto_flush_threshold is not None and auto_flush_threshold < 1:
             raise ValueError("auto_flush_threshold must be positive")
@@ -83,6 +101,15 @@ class AdaptiveDatabase:
         #: The resilience configuration every layer is armed with, or
         #: None when the subsystem is off.
         self.resilience_config = resilience
+        #: The tiering configuration every column is wrapped with, or
+        #: None when storage is untiered (the default).
+        if tiering is not None and not isinstance(tiering, TierConfig):
+            raise TypeError(
+                f"tiering must be a TierConfig or None, got {tiering!r}"
+            )
+        self.tiering = tiering
+        self._write_buffers: dict[str, WriteBuffer] = {}
+        self._spill_dir: str | None = None
         self._layers: dict[tuple[str, str], AdaptiveStorageLayer] = {}
         self._snapshot_managers: dict[tuple[str, str], SnapshotManager] = {}
 
@@ -94,8 +121,37 @@ class AdaptiveDatabase:
     # -- schema ---------------------------------------------------------
 
     def create_table(self, name: str, data: Mapping[str, np.ndarray]) -> Table:
-        """Create a table from per-column value arrays."""
-        return self.catalog.create_table(name, data)
+        """Create a table from per-column value arrays.
+
+        With tiering armed, every new column's backing store is wrapped
+        in a :class:`~repro.tier.TieredPageStore` and demoted down to
+        the hot budget before any view exists.
+        """
+        table = self.catalog.create_table(name, data)
+        if self.tiering is not None:
+            for column in table.columns.values():
+                self._tier_column(column)
+        return table
+
+    def _tier_column(self, column: PhysicalColumn) -> None:
+        """Wrap one column's store in the tiered proxy (placement set)."""
+        store = TieredPageStore(
+            column.file,
+            self.substrate,
+            self.tiering,
+            observer=self.observer,
+            spill_dir=self._spill_directory(),
+        )
+        store.initial_placement(self.cost)
+        column.file = store
+
+    def _spill_directory(self) -> str | None:
+        """Directory for real spill files (native backend only)."""
+        if self.substrate.backend != "native":
+            return None
+        if self._spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-tier-")
+        return self._spill_dir
 
     def table(self, name: str) -> Table:
         """Look up a table."""
@@ -139,6 +195,7 @@ class AdaptiveDatabase:
             result.rowids = result.rowids[keep]
             result.values = result.values[keep]
             result.stats.result_rows = int(result.rowids.size)
+        self._merge_staged(table_name, table, column_name, result, lo, hi)
         return result
 
     def scan(
@@ -158,7 +215,36 @@ class AdaptiveDatabase:
             result.rowids = result.rowids[keep]
             result.values = result.values[keep]
             result.stats.result_rows = int(result.rowids.size)
+        self._merge_staged(table_name, table, column_name, result, lo, hi)
         return result
+
+    def _merge_staged(
+        self,
+        table_name: str,
+        table: Table,
+        column_name: str,
+        result: QueryResult,
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Overlay staged (unmerged) inserts onto a query result.
+
+        Staged rows live in the write buffer until the next merge; they
+        are visible to queries immediately, charged as one sequential
+        pass over the buffer.
+        """
+        buffer = self._write_buffers.get(table_name)
+        if buffer is None or not len(buffer):
+            return
+        lo, hi = clamp_range(lo, hi)
+        self.cost.sequential_values(len(buffer))
+        rowids, values = buffer.matching(
+            column_name, lo, hi, base_row=table.num_rows
+        )
+        if rowids.size:
+            result.rowids = np.concatenate([result.rowids, rowids])
+            result.values = np.concatenate([result.values, values])
+            result.stats.result_rows = int(result.rowids.size)
 
     # -- snapshots ---------------------------------------------------------
 
@@ -252,6 +338,8 @@ class AdaptiveDatabase:
         Deletion tombstones the rows — physical pages and views stay in
         place, and every later selection filters the tombstones out.
         """
+        if self._write_buffers.get(table_name):
+            self.flush_inserts(table_name)
         result = self.query(table_name, column_name, lo, hi)
         return self.table(table_name).delete_rows(result.rowids)
 
@@ -279,6 +367,93 @@ class AdaptiveDatabase:
         table = self.table(table_name)
         batch = table.drain_updates(column_name)
         return self.layer(table_name, column_name).apply_updates(batch)
+
+    # -- ingest ------------------------------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, int]) -> int:
+        """Stage one row for append; returns its future rowid.
+
+        Rows accumulate in a per-table write buffer (visible to queries
+        immediately) and are merged into the columns in one batch when
+        the buffer reaches its threshold, or on an explicit
+        :meth:`flush_inserts`.
+        """
+        table = self.table(table_name)
+        buffer = self._write_buffers.get(table_name)
+        if buffer is None:
+            buffer = WriteBuffer(table.column_names)
+            self._write_buffers[table_name] = buffer
+        position = buffer.append(values)
+        rowid = table.num_rows + position
+        threshold = (
+            self.tiering.write_buffer_rows
+            if self.tiering is not None
+            else DEFAULT_WRITE_BUFFER_ROWS
+        )
+        if len(buffer) >= threshold:
+            self.flush_inserts(table_name)
+        return rowid
+
+    def flush_inserts(self, table_name: str) -> dict:
+        """Merge the table's staged rows into its columns.
+
+        Pending in-place updates flush first (the merge must not race a
+        stale update log), then every column is grown and the staged
+        values appended, and finally each instantiated layer rebuilds
+        its views for the new capacity (partials are dropped as
+        ``DROPPED_GROWTH``; the full view is recreated).
+        """
+        table = self.table(table_name)
+        buffer = self._write_buffers.get(table_name)
+        rows = len(buffer) if buffer is not None else 0
+        if rows == 0:
+            return {"merged_rows": 0, "new_rows": table.num_rows}
+        for column_name in table.column_names:
+            if len(table.pending_updates(column_name)):
+                self.flush_updates(table_name, column_name)
+        old_rows = table.num_rows
+        new_rows = old_rows + rows
+        for column_name, column in table.columns.items():
+            self._append_to_column(
+                column, buffer.column_values(column_name), old_rows, new_rows
+            )
+            maintain = getattr(column.file, "maintenance", None)
+            if maintain is not None:
+                # resize marks appended pages hot; demote back to budget
+                maintain(self.cost)
+        table.grow_rows(rows)
+        buffer.clear()
+        for (t_name, column_name), layer in self._layers.items():
+            if t_name == table_name:
+                layer.rebind_storage()
+        return {"merged_rows": rows, "new_rows": new_rows}
+
+    def _append_to_column(
+        self,
+        column: PhysicalColumn,
+        values: np.ndarray,
+        old_rows: int,
+        new_rows: int,
+    ) -> None:
+        per_page = column.values_per_page
+        file = column.file
+        if old_rows % per_page != 0:
+            # the partial last page is about to change: COW-preserve it
+            page = layout.row_to_page(old_rows, per_page)
+            for hook in column._pre_write_hooks:
+                hook(old_rows, page)
+        new_pages = layout.pages_for_rows(new_rows, per_page)
+        if new_pages > file.num_pages:
+            file.resize(new_pages)
+        rows = np.arange(old_rows, new_rows)
+        # fancy assignment: native `data` is a non-contiguous slice
+        file.data[rows // per_page, rows % per_page] = values
+        self.cost.value_write(values.size)
+        column.num_rows = new_rows
+        record = getattr(file, "record_write", None)
+        if record is not None:
+            for page in np.unique(rows // per_page).tolist():
+                record(int(page), self.cost)
 
     # -- auditing -----------------------------------------------------------
 
@@ -333,6 +508,16 @@ class AdaptiveDatabase:
             },
         }
 
+    def tier_status(self) -> dict:
+        """Per-column tier placement counters (empty when untiered)."""
+        status: dict[str, dict] = {}
+        for table in self.catalog.tables():
+            for column in table.columns.values():
+                ts = getattr(column.file, "tier_status", None)
+                if ts is not None:
+                    status[column.name] = ts()
+        return status
+
     # -- cost --------------------------------------------------------------
 
     def total_sim_ns(self) -> float:
@@ -356,6 +541,13 @@ class AdaptiveDatabase:
         for layer in self._layers.values():
             layer.shutdown()
         self._layers.clear()
+        for table in self.catalog.tables():
+            for column in table.columns.values():
+                if hasattr(column.file, "tier_of"):
+                    column.file.close()
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
         self.substrate.close()
 
     def __enter__(self) -> "AdaptiveDatabase":

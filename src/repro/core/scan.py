@@ -162,6 +162,9 @@ def batch_scan(
             total_values * column.value_cost_factor, access_kind, lane
         )
         cost.ledger.count("pages_scanned", n)
+        record = getattr(file, "record_batch_access", None)
+        if record is not None:
+            record(fpages, cost, lane=lane, kind=access_kind)
 
     return BatchScanResult(
         fpages=fpages,

@@ -55,6 +55,11 @@ class ViewEvent(Enum):
     #: The mapping governor evicted this view to satisfy the budget.
     EVICTED_BUDGET = "evicted_budget"
 
+    #: The view was dropped because the column grew (write-buffer
+    #: merge): view capacity is fixed at creation, so appended pages
+    #: force a rebuild from the grown column.
+    DROPPED_GROWTH = "dropped_growth"
+
 
 def view_utility(use_count: int, num_pages: int) -> int:
     """How much a partial view has earned its mappings.

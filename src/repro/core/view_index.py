@@ -427,3 +427,20 @@ class ViewIndex:
         self._use_counts.pop(id(view), None)
         self._sorted_dirty = True
         view.destroy(lane)
+
+    def rebuild_for_growth(self, lane: str = MAIN_LANE) -> None:
+        """Re-anchor the index after the column gained pages.
+
+        View capacity is fixed at creation, so a grown column (write-
+        buffer merge) invalidates every existing view: the partials are
+        dropped (journaled as :attr:`ViewEvent.DROPPED_GROWTH`; they
+        will be re-learned adaptively) and the full view is recreated
+        over the new page count.  Candidate generation restarts even if
+        the view limit had been reached — the column changed shape.
+        """
+        for view in self.partial_views:
+            self.record_decision(view, ViewEvent.DROPPED_GROWTH)
+            self.drop(view, lane)
+        self.full_view.destroy(lane)
+        self.full_view = VirtualView.full_view(self.column, lane=lane)
+        self.generation_stopped = False

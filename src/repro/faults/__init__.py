@@ -11,6 +11,7 @@ from .errors import SubstrateFault, TornSnapshotError
 from .plane import (
     FaultyPageStore,
     FaultySubstrate,
+    check_fault,
     suppress_faults,
     unwrap_store,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "InjectedFault",
     "SubstrateFault",
     "TornSnapshotError",
+    "check_fault",
     "default_kind",
     "default_transient",
     "suppress_faults",

@@ -32,8 +32,30 @@ from .schedule import FaultKind, FaultSchedule
 
 
 def unwrap_store(file: PageStore) -> PageStore:
-    """The real backend store behind a (possibly wrapped) page store."""
-    return getattr(file, "_inner", file)
+    """The real backend store behind a (possibly wrapped) page store.
+
+    Wrappers can stack (a tiered store over a faulty proxy over the
+    backend store), so unwrapping walks the whole ``_inner`` chain.
+    """
+    while True:
+        inner = getattr(file, "_inner", None)
+        if inner is None:
+            return file
+        file = inner
+
+
+def check_fault(substrate: Substrate, op: str) -> None:
+    """Consult ``substrate``'s fault plane for ``op``; no-op otherwise.
+
+    The public entry point for components that sit *outside* the
+    substrate surface but still model fallible I/O (the tiered page
+    store's spill reads/writes): on a :class:`FaultySubstrate` this
+    advances the schedule and raises the injected fault exactly like a
+    forwarded substrate call; on a bare backend it does nothing.
+    """
+    check = getattr(substrate, "_check", None)
+    if check is not None:
+        check(op)
 
 
 def suppress_faults(substrate: Substrate):

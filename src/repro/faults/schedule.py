@@ -46,6 +46,14 @@ class FaultKind(str, Enum):
     #: hands back the *previous* snapshot of the same file filter.
     STALE_MAPS = "stale_maps"
 
+    #: Reading a page back from the cold tier failed (far-tier / spill
+    #: device read error).
+    COLD_READ_FAIL = "cold_read_fail"
+
+    #: Spilling a page to the cold tier failed (far-tier / spill device
+    #: write error).
+    COLD_WRITE_FAIL = "cold_write_fail"
+
 
 #: Default fault kind per substrate operation (what failing that call
 #: naturally looks like).
@@ -59,6 +67,8 @@ DEFAULT_KINDS: dict[str, FaultKind] = {
     "create_file": FaultKind.CAPACITY,
     "resize": FaultKind.CAPACITY,
     "maps_snapshot": FaultKind.MAPS_ERROR,
+    "cold_read": FaultKind.COLD_READ_FAIL,
+    "cold_write": FaultKind.COLD_WRITE_FAIL,
 }
 
 
@@ -79,6 +89,10 @@ DEFAULT_TRANSIENT: dict[FaultKind, bool] = {
     FaultKind.CAPACITY: False,
     FaultKind.MAPS_ERROR: True,
     FaultKind.STALE_MAPS: True,
+    # Spill I/O errors model a congested or briefly unreachable far
+    # tier: the device comes back, so retries are the right response.
+    FaultKind.COLD_READ_FAIL: True,
+    FaultKind.COLD_WRITE_FAIL: True,
 }
 
 

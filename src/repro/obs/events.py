@@ -61,6 +61,9 @@ TOPIC_SERVER_ADMIT = "server.admit"
 #: Topic of shed serving sessions (admission refusals, with reason).
 TOPIC_SERVER_SHED = "server.shed"
 
+#: Topic of tier placement changes (promotions, demotions, maintenance).
+TOPIC_TIER = "tier.placement"
+
 #: Subscription wildcard: receive every topic.
 ALL_TOPICS = "*"
 

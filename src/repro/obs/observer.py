@@ -33,6 +33,7 @@ from .events import (
     TOPIC_SERVER_ADMIT,
     TOPIC_SERVER_SHED,
     TOPIC_SHARD,
+    TOPIC_TIER,
     TOPIC_VIEW_LIFECYCLE,
     EventBus,
 )
@@ -156,6 +157,17 @@ class NullObserver:
         self, op: str, session_id: int, sim_ns: float
     ) -> None:
         """Hook: one server request finished (any operation)."""
+
+    def on_tier_promotion(self, fpage: int) -> None:
+        """Hook: one page was promoted from the cold to the hot tier."""
+
+    def on_tier_demotion(self, fpage: int) -> None:
+        """Hook: one page was demoted (spilled) to the cold tier."""
+
+    def on_tier_maintenance(
+        self, hot: int, cold: int, hit_ratio: float
+    ) -> None:
+        """Hook: tier maintenance finished (decay + budget enforcement)."""
 
 
 #: The shared disabled observer (observation off, the default).
@@ -290,6 +302,18 @@ class Observer(NullObserver):
             "server_request_sim_ns",
             "Simulated time charged per server request",
             SIM_NS_BUCKETS,
+        )
+        self._tier_pages = m.gauge(
+            "tier_pages", "Physical pages per tier after the last maintenance"
+        )
+        self._tier_promotions = m.counter(
+            "tier_promotions_total", "Pages promoted from the cold tier"
+        )
+        self._tier_demotions = m.counter(
+            "tier_demotions_total", "Pages demoted (spilled) to the cold tier"
+        )
+        self._tier_hit_ratio = m.gauge(
+            "tier_hit_ratio", "Fraction of page accesses served by the hot tier"
         )
 
     def span(self, name: str, **attrs: object) -> ContextManager[Span]:
@@ -462,6 +486,30 @@ class Observer(NullObserver):
     ) -> None:
         self._server_requests.inc(op=op)
         self._server_request_ns.observe(sim_ns, op=op)
+
+    # -- tier hooks ------------------------------------------------------
+
+    def on_tier_promotion(self, fpage: int) -> None:
+        self._tier_promotions.inc()
+        self.events.publish(TOPIC_TIER, action="promote", fpage=fpage)
+
+    def on_tier_demotion(self, fpage: int) -> None:
+        self._tier_demotions.inc()
+        self.events.publish(TOPIC_TIER, action="demote", fpage=fpage)
+
+    def on_tier_maintenance(
+        self, hot: int, cold: int, hit_ratio: float
+    ) -> None:
+        self._tier_pages.set(hot, tier="hot")
+        self._tier_pages.set(cold, tier="cold")
+        self._tier_hit_ratio.set(hit_ratio)
+        self.events.publish(
+            TOPIC_TIER,
+            action="maintenance",
+            hot=hot,
+            cold=cold,
+            hit_ratio=hit_ratio,
+        )
 
     # -- SQL hooks ------------------------------------------------------
 

@@ -68,6 +68,7 @@ class ResilienceController:
             state = HealthState.READONLY
         else:
             utilization = self.governor.utilization()
+            tier_state = getattr(self.column.file, "tier_state", None)
             degraded = (
                 bool(self.view_index.quarantine)
                 or self._consecutive_permanent > 0
@@ -75,6 +76,9 @@ class ResilienceController:
                     utilization is not None
                     and utilization >= self.config.degraded_watermark
                 )
+                # Tiered storage feeds the state machine: a thrashing
+                # (or over-budget) tier degrades the layer.
+                or (tier_state is not None and tier_state() != "healthy")
             )
             state = HealthState.DEGRADED if degraded else HealthState.HEALTHY
         if state is not self._last_health:
@@ -165,6 +169,12 @@ class ResilienceController:
 
     def status(self) -> dict:
         """Counters and state for the CLI / facade status surface."""
+        tier_status = getattr(self.column.file, "tier_status", None)
+        if tier_status is not None:
+            return {**self._base_status(), "tier": tier_status()}
+        return self._base_status()
+
+    def _base_status(self) -> dict:
         return {
             "health": self.health().value,
             "retries": self.retry.retries,

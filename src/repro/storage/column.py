@@ -133,6 +133,9 @@ class PhysicalColumn:
         page = layout.row_to_page(row, per_page)
         slot = layout.row_to_slot(row, per_page)
         self.cost.page_access("random", 1, lane)
+        record = getattr(self.file, "record_access", None)
+        if record is not None:
+            record(page, self.cost, lane=lane, kind="random")
         return int(self.file.data[page, slot])
 
     def write(self, row: int, value: int, lane: str = MAIN_LANE) -> int:
@@ -150,6 +153,9 @@ class PhysicalColumn:
         old = int(self.file.data[page, slot])
         self.file.data[page, slot] = value
         self.cost.value_write(1, lane)
+        record = getattr(self.file, "record_write", None)
+        if record is not None:
+            record(page, self.cost, lane=lane)
         return old
 
     def add_pre_write_hook(self, hook) -> None:

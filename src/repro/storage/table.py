@@ -153,6 +153,23 @@ class Table:
         for row, value in zip(rows.tolist(), new_values.tolist()):
             self.update(column_name, row, value)
 
+    # -- appends (write-buffer merge) --------------------------------------
+
+    def grow_rows(self, added: int) -> None:
+        """Extend the table by ``added`` freshly appended rows.
+
+        Called by the write-buffer merge after every column materialized
+        the new values; new rows carry no tombstones.
+        """
+        if added < 0:
+            raise ValueError(f"cannot grow by {added} rows")
+        if added == 0:
+            return
+        self.num_rows += added
+        self._deleted = np.concatenate(
+            [self._deleted, np.zeros(added, dtype=bool)]
+        )
+
     def pending_updates(self, column_name: str) -> UpdateBatch:
         """Updates logged against ``column_name`` since the last drain."""
         self.column(column_name)  # validate the name

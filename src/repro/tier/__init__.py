@@ -1,0 +1,31 @@
+"""Tiered page storage: a hot/cold split under the page-store surface.
+
+The paper assumes every physical page is resident; this package relaxes
+that.  A :class:`TieredPageStore` wraps any backend page store and
+splits its pages into a resident *hot* tier and a *cold* tier whose
+contents are spilled — to an in-memory far-tier model charged with its
+own :class:`~repro.vm.cost.CostParameters` constants on the simulated
+backend, and additionally to a real on-disk spill file on the native
+backend.  Placement is access-frequency driven (per-page hit counters,
+decayed at maintenance); a :class:`TierGovernor` enforces a hot-page
+budget the way the mapping governor enforces the maps-line budget.
+
+A :class:`WriteBuffer` pairs with it on the ingest side: appends are
+staged in a batched buffer and merged into the columns during
+maintenance, so append-heavy workloads avoid per-row view realignment.
+
+See ``docs/tiering.md``.
+"""
+
+from .buffer import WriteBuffer
+from .config import TierConfig
+from .governor import TierGovernor
+from .store import ColdStore, TieredPageStore
+
+__all__ = [
+    "ColdStore",
+    "TierConfig",
+    "TierGovernor",
+    "TieredPageStore",
+    "WriteBuffer",
+]

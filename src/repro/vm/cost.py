@@ -98,6 +98,19 @@ class CostParameters:
     #: One push/pop on the concurrent mapping-request queue.
     queue_op_ns: float = 60.0
 
+    #: Reading one page back from the simulated far tier (CXL-class /
+    #: NVMe-backed cold memory — roughly an order of magnitude above a
+    #: random DRAM page touch).
+    cold_read_ns: float = 950.0
+
+    #: Spilling one page to the far tier (write path of the same device;
+    #: writes are slower than reads on flash-class media).
+    cold_write_ns: float = 1400.0
+
+    #: Promoting one page from the cold tier into the hot tier on top of
+    #: the cold read itself (install + placement bookkeeping).
+    promote_ns: float = 600.0
+
     #: Bandwidth penalty factors for the in-page value stream, by page
     #: access kind.  Scanning virtually *contiguous* memory streams at
     #: peak bandwidth; jumping between scattered 4 KiB pages restarts
@@ -388,3 +401,20 @@ class CostModel:
         """Charge ``n`` concurrent-queue operations."""
         self.ledger.charge(n * self.params.queue_op_ns, lane)
         self.ledger.count("queue_ops", n)
+
+    # -- tiering costs -----------------------------------------------------
+
+    def cold_read(self, n: int = 1, lane: str = MAIN_LANE) -> None:
+        """Charge reading ``n`` pages from the simulated far tier."""
+        self.ledger.charge(n * self.params.cold_read_ns, lane)
+        self.ledger.count("cold_page_reads", n)
+
+    def cold_write(self, n: int = 1, lane: str = MAIN_LANE) -> None:
+        """Charge spilling ``n`` pages to the simulated far tier."""
+        self.ledger.charge(n * self.params.cold_write_ns, lane)
+        self.ledger.count("cold_page_writes", n)
+
+    def promote(self, n: int = 1, lane: str = MAIN_LANE) -> None:
+        """Charge promoting ``n`` pages from the cold to the hot tier."""
+        self.ledger.charge(n * self.params.promote_ns, lane)
+        self.ledger.count("tier_promotions", n)

@@ -18,6 +18,7 @@ from repro.bench.harness import (
     session_count,
     session_seed,
     shard_count,
+    tier_budget,
     verify_runs_agree,
 )
 from repro.core.adaptive import AdaptiveStorageLayer
@@ -110,6 +111,32 @@ class TestSessionCount:
             monkeypatch.setenv("REPRO_SESSIONS", bad)
             with pytest.raises(ValueError, match="REPRO_SESSIONS"):
                 session_count()
+
+
+class TestTierBudget:
+    def test_default_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIER_BUDGET", raising=False)
+        assert tier_budget() is None
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_BUDGET", "1024")
+        assert tier_budget() == 1024
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_BUDGET", "hot")
+        with pytest.raises(ValueError, match="REPRO_TIER_BUDGET"):
+            tier_budget()
+
+    def test_fractional_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_BUDGET", "0.25")
+        with pytest.raises(ValueError, match="REPRO_TIER_BUDGET"):
+            tier_budget()
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        for bad in ("0", "-16"):
+            monkeypatch.setenv("REPRO_TIER_BUDGET", bad)
+            with pytest.raises(ValueError, match="REPRO_TIER_BUDGET"):
+                tier_budget()
 
 
 class TestSessionSeed:

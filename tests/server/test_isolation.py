@@ -142,6 +142,81 @@ class TestSnapshotReads:
                 assert pinned_view.data["checksum"] == _digest_of(_values())
 
 
+class TestTieredSnapshotIsolation:
+    """Bit-identity regression: pinning over a :class:`TieredPageStore`
+    answers pin time while demotion/promotion churns the placement."""
+
+    @pytest.fixture
+    def tiered_manager(self):
+        from repro.tier import TierConfig
+
+        with DatabaseManager() as mgr:
+            db = mgr.create_database(
+                config=AdaptiveConfig(background_mapping=False),
+                tiering=TierConfig(hot_budget=2),
+            )
+            db.create_table("t", {"x": _values()})
+            yield mgr
+
+    def test_pinned_reader_survives_tier_churn(self, tiered_manager):
+        """A pinned reader stays bit-identical to pin time while a
+        writer's updates and flushes demote and promote pages under it."""
+        db = tiered_manager.database()
+        store = db.table("t").column("x").file
+        assert store.hot_count() <= 2
+
+        reader = tiered_manager.open_session()
+        writer = tiered_manager.open_session()
+        pin_oracle = _digest_of(_values())
+        assert reader.snapshot("t", "x").ok
+
+        live = _values()
+        churn_before = store.promotions + store.demotions
+        for step in range(6):
+            row = (step % NUM_PAGES) * VALUES_PER_PAGE + 3
+            value = 1_500_000 + step
+            assert writer.update("t", "x", row, value).ok
+            live[row] = value
+            # Back-to-back live queries drive the placement around:
+            # cold pages accumulate hits past the promotion threshold,
+            # then maintenance demotes back down to budget.
+            assert writer.query("t", "x", *FULL_RANGE).ok
+            assert writer.query("t", "x", *FULL_RANGE).ok
+            store.maintenance(db.cost)
+
+            view = reader.query("t", "x", *FULL_RANGE)
+            assert view.ok and view.data["snapshot"] is True
+            assert view.data["checksum"] == pin_oracle, (
+                f"step {step}: pinned read diverged from pin time"
+            )
+
+        # The placement genuinely churned underneath the snapshot and
+        # the live state moved on.
+        assert store.promotions + store.demotions > churn_before
+        assert store.hot_count() <= 2 + store.governor.debt
+        fresh = writer.query("t", "x", *FULL_RANGE)
+        assert fresh.data["checksum"] == _digest_of(live)
+        assert fresh.data["checksum"] != pin_oracle
+
+        reader.close()
+        writer.close()
+        # Pins released: the audit (tier-placement included) is clean.
+        audit = db.audit()
+        assert audit.ok, audit.render()
+
+    def test_release_over_tiered_store_returns_to_live(self, tiered_manager):
+        db = tiered_manager.database()
+        with tiered_manager.open_session() as session:
+            session.snapshot("t", "x")
+            session_live = _values()
+            assert session.release_snapshot("t", "x").ok
+            view = session.query("t", "x", *FULL_RANGE)
+            assert view.data["snapshot"] is False
+            assert view.data["checksum"] == _digest_of(session_live)
+            audit = db.audit()
+            assert audit.ok, audit.render()
+
+
 class TestSnapshotLifecycle:
     def test_double_pin_rejected(self, manager):
         with manager.open_session() as session:
