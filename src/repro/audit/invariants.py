@@ -97,7 +97,86 @@ class InvariantAuditor:
                 label=f"{table_name}.{column_name}",
                 report=report,
             )
+        wal = getattr(db, "_wal", None)
+        if wal is not None and not wal.closed:
+            self._audit_wal_consistency(db, wal, report)
         return report
+
+    def _audit_wal_consistency(self, db, wal, report: AuditReport) -> None:
+        """``wal-consistency``: every acked op is checkpointed or replayable.
+
+        Re-scans the log from disk (free — no cost charges, no fault
+        plane) and cross-checks it against the in-memory log state:
+
+        * a *live* log never carries a torn tail (tears are repaired at
+          open and after injected short writes);
+        * record LSNs are contiguous (+1 steps — a gap would skip an op
+          at replay);
+        * the scanned tail agrees with the in-memory LSN (every
+          in-memory append reached the OS);
+        * the acknowledgement watermark is covered: an op acked at LSN
+          ``k`` is replayable (``k`` ≤ scanned tail) or behind a
+          checkpoint (pruning only removes segments a checkpoint
+          covers, and the checkpoint marker lands after the prune);
+        * byte accounting matches the on-disk segment sizes.
+        """
+        from ..wal.records import scan_wal
+
+        label = "wal"
+        scan = scan_wal(wal.directory)
+
+        report.checks += 1
+        if scan.torn is not None:
+            report.add_finding(
+                "wal-consistency",
+                f"live log carries a torn tail ({scan.torn.reason} in "
+                f"{scan.torn.segment} at offset {scan.torn.offset})",
+                label=label,
+            )
+
+        lsns = [int(record["lsn"]) for record in scan.records]
+        report.checks += 1
+        gaps = [
+            (a, b) for a, b in zip(lsns, lsns[1:]) if b != a + 1
+        ]
+        if gaps:
+            report.add_finding(
+                "wal-consistency",
+                f"record LSNs are not contiguous (gaps at {gaps[:5]})",
+                label=label,
+            )
+
+        scanned_tail = lsns[-1] if lsns else 0
+        report.checks += 1
+        if scanned_tail != wal.lsn:
+            report.add_finding(
+                "wal-consistency",
+                f"scanned tail lsn {scanned_tail} disagrees with the "
+                f"in-memory lsn {wal.lsn}",
+                label=label,
+            )
+
+        report.checks += 1
+        if db._last_acked_lsn > max(scanned_tail, wal.lsn):
+            report.add_finding(
+                "wal-consistency",
+                f"acked watermark {db._last_acked_lsn} is beyond the log "
+                f"tail {scanned_tail}: an acknowledged write is neither "
+                f"checkpointed nor replayable",
+                label=label,
+            )
+
+        disk_bytes = sum(
+            path.stat().st_size for path in scan.segments if path.exists()
+        )
+        report.checks += 1
+        if disk_bytes != wal.total_bytes:
+            report.add_finding(
+                "wal-consistency",
+                f"on-disk segments hold {disk_bytes} bytes, the log "
+                f"accounts for {wal.total_bytes}",
+                label=label,
+            )
 
     # -- the checks -------------------------------------------------------
 

@@ -131,6 +131,28 @@ def tier_budget() -> int | None:
     return value
 
 
+def wal_fsync_policy() -> str | None:
+    """User-requested WAL fsync policy (``REPRO_WAL_FSYNC``, default None).
+
+    Validated exactly like ``REPRO_SCALE``: when set, it must be one of
+    the :data:`~repro.wal.config.FSYNC_POLICIES` names — an unknown
+    policy would silently benchmark nothing.  Consumed by the
+    durability benchmark (``python -m repro perf --durability``) to
+    restrict the sweep to one policy; unset means all policies run.
+    """
+    raw = os.environ.get("REPRO_WAL_FSYNC")
+    if raw is None:
+        return None
+    from ..wal.config import FSYNC_POLICIES
+
+    if raw not in FSYNC_POLICIES:
+        raise ValueError(
+            f"REPRO_WAL_FSYNC must be one of {'/'.join(FSYNC_POLICIES)}, "
+            f"got {raw!r}"
+        )
+    return raw
+
+
 def session_seed(shard: int | None = None) -> int:
     """User-requested session seed (``REPRO_SEED``, default 0).
 

@@ -495,6 +495,116 @@ def bench_tiered_scan(
     }
 
 
+#: Rows the durability benchmark journals per timed run.
+DEFAULT_DURABILITY_ROWS = 2_000
+
+
+def bench_durability(
+    num_rows: int = DEFAULT_DURABILITY_ROWS,
+    iterations: int = 3,
+    fsync_policy: str | None = None,
+    backend: str = "simulated",
+) -> dict:
+    """Wall-clock the journaled write path across fsync policies.
+
+    One seeded insert stream, replayed against a no-WAL baseline and
+    then with the write-ahead log under each fsync policy (or just
+    ``fsync_policy`` when given).  Each timed run gets a fresh durable
+    directory; afterwards the directory is *recovered* and the restored
+    row count cross-checked — the ack contract, not just the timing, is
+    what the benchmark certifies.  Returns the ``durability`` payload
+    section.
+    """
+    import shutil
+    import tempfile
+
+    from ..core.facade import AdaptiveDatabase
+    from ..wal import FSYNC_POLICIES, DurabilityConfig, recover_database
+
+    policies: tuple[str, ...]
+    if fsync_policy is not None:
+        policies = (fsync_policy,)
+    else:
+        policies = FSYNC_POLICIES
+    rng = np.random.default_rng(session_seed())
+    stream = rng.integers(0, 1_000_000, size=num_rows)
+    base_rows = 4
+
+    def timed_run(durable_dir: str | None, policy: str) -> tuple[float, dict]:
+        kwargs: dict = {}
+        if durable_dir is not None:
+            kwargs = {
+                "durable_dir": durable_dir,
+                "durability": DurabilityConfig(fsync=policy),
+            }
+        db = AdaptiveDatabase(backend=backend, **kwargs)
+        try:
+            db.create_table(
+                "perf_wal",
+                {
+                    "k": np.arange(base_rows, dtype=np.int64),
+                    "v": np.zeros(base_rows, dtype=np.int64),
+                },
+            )
+            started = time.perf_counter()
+            for i, value in enumerate(stream.tolist()):
+                db.insert("perf_wal", {"k": base_rows + i, "v": int(value)})
+            db.flush_all()  # batch/off pay their deferred fsync here
+            elapsed = time.perf_counter() - started
+            status = db.wal_status()
+        finally:
+            db.close()
+        return elapsed, status
+
+    def run_policy(policy: str | None) -> dict:
+        best = float("inf")
+        status: dict = {}
+        oracle_ok = True
+        for _ in range(iterations):
+            tmp = tempfile.mkdtemp(prefix="repro-perf-wal-")
+            try:
+                durable_dir = None if policy is None else tmp
+                elapsed, status = timed_run(durable_dir, policy or "off")
+                best = min(best, elapsed)
+                if policy is not None:
+                    recovered, _ = recover_database(tmp, backend=backend)
+                    try:
+                        live = recovered.table("perf_wal").num_live_rows
+                    finally:
+                        recovered.close()
+                    oracle_ok = oracle_ok and live == base_rows + num_rows
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+        entry = {
+            "policy": policy or "none",
+            "seconds": best,
+            "rows": num_rows,
+            "rows_per_second": num_rows / best if best > 0 else float("inf"),
+            "oracle_ok": oracle_ok,
+        }
+        if policy is not None:
+            entry["wal_appends"] = status.get("lsn", 0)
+            entry["wal_bytes"] = status.get("total_bytes", 0)
+        return entry
+
+    baseline = run_policy(None)
+    entries = [run_policy(policy) for policy in policies]
+    for entry in entries:
+        entry["slowdown_vs_baseline"] = (
+            entry["seconds"] / baseline["seconds"]
+            if baseline["seconds"] > 0
+            else float("inf")
+        )
+    return {
+        "rows": num_rows,
+        "backend": backend,
+        "iterations": iterations,
+        "baseline_seconds": baseline["seconds"],
+        "baseline_rows_per_second": baseline["rows_per_second"],
+        "entries": entries,
+    }
+
+
 def run_perf(
     num_pages: int = DEFAULT_PERF_PAGES,
     iterations: int = 3,
@@ -510,6 +620,9 @@ def run_perf(
     tiered_pages: int | None = None,
     tier_budget_pages: int | None = None,
     tiered_only: bool = False,
+    durability: bool = False,
+    durability_only: bool = False,
+    fsync_policy: str | None = None,
 ) -> dict:
     """Run every microbenchmark; returns the ``BENCH_perf.json`` payload.
 
@@ -517,13 +630,14 @@ def run_perf(
     fast-path benchmarks (default: same as ``num_pages``);
     ``paper_scale`` additionally runs the 1M-page native sharded scan;
     ``serve`` additionally runs the serving-layer concurrency benchmark;
-    ``tiered`` additionally runs the tiered-scan budget sweep
-    (``serve_only`` / ``tiered_only`` run nothing else — pair with
-    ``merge=True`` in :func:`write_perf_json` to refresh just that
-    section).
+    ``tiered`` additionally runs the tiered-scan budget sweep;
+    ``durability`` additionally runs the journaled-write benchmark
+    (``serve_only`` / ``tiered_only`` / ``durability_only`` run nothing
+    else — pair with ``merge=True`` in :func:`write_perf_json` to
+    refresh just that section).
     """
     payload: dict = {}
-    if not (serve_only or tiered_only):
+    if not (serve_only or tiered_only or durability_only):
         results = [
             bench_scan(num_pages, iterations),
             bench_view_creation(num_pages, iterations),
@@ -557,6 +671,10 @@ def run_perf(
             tiered_pages or num_pages,
             iterations,
             budget=tier_budget_pages,
+        )
+    if durability or durability_only:
+        payload["durability"] = bench_durability(
+            iterations=iterations, fsync_policy=fsync_policy
         )
     return payload
 
@@ -653,6 +771,30 @@ def render_perf(payload: dict) -> str:
                 f"{e['slowdown_vs_untiered']:>8.2f}x "
                 f"{e['hot_hit_ratio']:>8.2f}  "
                 f"{e['promotions']}/{e['demotions']}"
+            )
+    durability = payload.get("durability")
+    if durability:
+        if lines:
+            lines.append("")
+        lines.extend(
+            [
+                f"Durability — {durability['rows']} journaled inserts, "
+                f"{durability['backend']} backend, no-WAL baseline "
+                f"{durability['baseline_seconds'] * 1e3:.1f}ms "
+                f"({durability['baseline_rows_per_second']:,.0f} rows/s)",
+                "",
+                f"{'fsync':>8} {'seconds':>12} {'rows/s':>10} "
+                f"{'slowdown':>9} {'wal bytes':>10}  oracle",
+                "-" * 60,
+            ]
+        )
+        for e in durability["entries"]:
+            lines.append(
+                f"{e['policy']:>8} {e['seconds'] * 1e3:>10.1f}ms "
+                f"{e['rows_per_second']:>10,.0f} "
+                f"{e['slowdown_vs_baseline']:>8.2f}x "
+                f"{e.get('wal_bytes', 0):>10,}  "
+                f"{'ok' if e['oracle_ok'] else 'FAIL'}"
             )
     serving = payload.get("serving")
     if serving:

@@ -331,6 +331,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     perf.add_argument(
+        "--durability",
+        action="store_true",
+        help=(
+            "additionally run the durability benchmark (insert "
+            "throughput per fsync policy against a no-WAL baseline)"
+        ),
+    )
+    perf.add_argument(
+        "--durability-only",
+        action="store_true",
+        help=(
+            "run only the durability benchmark (pair with --merge to "
+            "refresh just the 'durability' section of an existing JSON)"
+        ),
+    )
+    from .wal.config import FSYNC_POLICIES
+
+    perf.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default=None,
+        help=(
+            "restrict the durability benchmark to one fsync policy "
+            "(default: REPRO_WAL_FSYNC when set, else all policies)"
+        ),
+    )
+    perf.add_argument(
         "--merge",
         action="store_true",
         help=(
@@ -391,10 +418,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach an observer (session metrics, admit/shed events)",
     )
+    serve.add_argument(
+        "--durable",
+        metavar="DIR",
+        default=None,
+        help=(
+            "serve a durable database journaling to DIR (recovered "
+            "first when the directory holds a log or checkpoint); "
+            "graceful shutdown flushes staged rows and the WAL"
+        ),
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default="batch",
+        help="WAL fsync policy for --durable (default: batch)",
+    )
 
     subparsers.add_parser(
         "backends",
         help="report substrate backend availability and active toggles",
+    )
+
+    from .substrate import BACKENDS as _BACKENDS
+
+    recover = subparsers.add_parser(
+        "recover",
+        help=(
+            "crash-consistently recover a durable directory (checkpoint "
+            "+ WAL tail replay) and report what was rebuilt"
+        ),
+    )
+    recover.add_argument(
+        "directory", help="durable directory (WAL segments + checkpoint)"
+    )
+    recover.add_argument(
+        "--backend",
+        choices=sorted(_BACKENDS),
+        default="simulated",
+        help="substrate backend for the recovered database",
+    )
+    recover.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="take a fresh checkpoint after recovery (compacts the log)",
     )
 
     from .audit.session import FAULT_LEVELS
@@ -651,6 +718,11 @@ def _run_perf(args: argparse.Namespace) -> int:
     elif budget <= 0:
         print(f"error: --tier-budget must be positive, got {budget}")
         return 2
+    fsync_policy = args.fsync
+    if fsync_policy is None:
+        from .bench.harness import wal_fsync_policy
+
+        fsync_policy = wal_fsync_policy()
     payload = run_perf(
         num_pages=args.pages,
         iterations=args.iterations,
@@ -665,6 +737,9 @@ def _run_perf(args: argparse.Namespace) -> int:
         tiered_pages=args.tiered_pages,
         tier_budget_pages=budget,
         tiered_only=args.tiered_only,
+        durability=args.durability,
+        durability_only=args.durability_only,
+        fsync_policy=fsync_policy,
     )
     print(render_perf(payload))
     write_perf_json(payload, args.json, merge=args.merge)
@@ -673,6 +748,8 @@ def _run_perf(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .resilience.policy import ResilienceConfig
     from .server.admission import AdmissionPolicy
     from .server.manager import DatabaseManager
@@ -682,24 +759,72 @@ def _run_serve(args: argparse.Namespace) -> int:
     db_kwargs: dict = {"observe": args.observe}
     if args.budget is not None:
         db_kwargs["resilience"] = ResilienceConfig(mapping_budget=args.budget)
-    manager.create_database(
-        args.db,
-        shards=args.shards,
-        policy=AdmissionPolicy(max_sessions=args.max_sessions),
-        **db_kwargs,
-    )
+    policy = AdmissionPolicy(max_sessions=args.max_sessions)
+    if args.durable is not None:
+        if args.shards != 1:
+            print("error: --durable does not combine with --shards")
+            return 2
+        from .wal import DurabilityConfig, recover_database
+
+        db, report = recover_database(
+            args.durable,
+            durability=DurabilityConfig(fsync=args.fsync),
+            **db_kwargs,
+        )
+        print(report.describe())
+        manager.add_database(args.db, db, policy=policy)
+    else:
+        manager.create_database(
+            args.db, shards=args.shards, policy=policy, **db_kwargs
+        )
     server = QueryServer(manager=manager, host=args.host, port=args.port)
     host, port = server.start()
     print(f"serving database {args.db!r} on {host}:{port}")
     print("connect with: python -m repro.sql --connect "
           f"{host}:{port}  (ctrl-c stops)")
+
+    def _sigterm(signum, frame):  # graceful drain-and-flush on SIGTERM
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.join()  # serve until interrupted
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.stop()
         manager.close()
+    return 0
+
+
+def _run_recover(args: argparse.Namespace) -> int:
+    from .wal import recover_database
+
+    db, report = recover_database(args.directory, backend=args.backend)
+    try:
+        print(report.describe())
+        for table in db.catalog.tables():
+            staged = len(db._write_buffers.get(table.name) or ())
+            line = (
+                f"  table {table.name!r}: {table.num_live_rows} live rows "
+                f"({table.num_rows} physical"
+            )
+            line += f", {staged} staged)" if staged else ")"
+            print(line)
+        status = db.wal_status()
+        print(
+            f"  wal: lsn {status['lsn']}, {status['segments']} segment(s), "
+            f"{status['total_bytes']} bytes"
+        )
+        if args.checkpoint:
+            info = db.checkpoint()
+            print(
+                f"  checkpoint taken at lsn {info['checkpoint_lsn']} "
+                f"({info['path']})"
+            )
+    finally:
+        db.close()
     return 0
 
 
@@ -845,6 +970,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_perf(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "recover":
+        return _run_recover(args)
     if args.command == "calibrate":
         return _run_calibrate(args)
     if args.command == "trace":

@@ -27,22 +27,45 @@ from .facade import AdaptiveDatabase
 from .routing import scan_views
 from .view import VirtualView
 
-#: Manifest format version (bump on breaking changes).
-CHECKPOINT_VERSION = 1
+#: Manifest format version (bump on breaking changes).  Version 2 adds
+#: tombstone bitmaps, the staged-row flush before save, and the
+#: ``wal_lsn`` watermark the recovery path replays from.
+CHECKPOINT_VERSION = 2
+
+#: Versions :func:`load_database` understands.  Version-1 archives
+#: (no tombstones, no ``wal_lsn``) load as fully-live tables with a
+#: zero watermark.
+SUPPORTED_VERSIONS = (1, 2)
 
 _MANIFEST_KEY = "__manifest__"
 
 
-def save_database(db: AdaptiveDatabase, path: str) -> None:
-    """Write a checkpoint of ``db`` (data + schema + view ranges)."""
+def save_database(
+    db: AdaptiveDatabase, path: str, wal_lsn: int | None = None
+) -> None:
+    """Write a checkpoint of ``db`` (data + schema + view ranges).
+
+    Staged write-buffer rows are merged first and tombstone bitmaps are
+    persisted, so a checkpoint round-trips a post-insert/delete
+    database exactly.  ``wal_lsn`` stamps the log position the archive
+    is consistent with (recovery replays everything after it).
+    """
+    for table_name in list(db._write_buffers):
+        db.flush_inserts(table_name)
     arrays: dict[str, np.ndarray] = {}
     manifest: dict = {
         "version": CHECKPOINT_VERSION,
         "config": _config_to_dict(db.config),
+        "wal_lsn": int(wal_lsn or 0),
         "tables": {},
     }
     for table in db.catalog.tables():
         table_meta: dict = {"columns": {}}
+        tombstones = table.tombstone_mask()
+        if tombstones is not None:
+            key = f"{table.name}::__tombstones__"
+            arrays[key] = tombstones
+            table_meta["tombstones"] = key
         for column_name, column in table.columns.items():
             key = f"{table.name}::{column_name}"
             arrays[key] = column.values()
@@ -67,35 +90,58 @@ def save_database(db: AdaptiveDatabase, path: str) -> None:
 
 
 def load_database(
-    path: str, backend: str | object = "simulated"
+    path: str, backend: str | object = "simulated", **db_kwargs
 ) -> AdaptiveDatabase:
     """Reload a checkpoint: recreate tables and rebuild the views warm.
 
     ``backend`` selects the substrate the restored database runs on —
     a backend name or a pre-built substrate (e.g. a
     :class:`~repro.faults.FaultySubstrate` for recovery testing).
+    Extra keyword arguments pass through to the
+    :class:`AdaptiveDatabase` constructor; with ``durable_dir=`` set,
+    the reload itself is not re-journaled (the checkpoint already
+    covers it) and the manifest's ``wal_lsn`` watermark is exposed as
+    ``db._checkpoint_wal_lsn`` for the recovery replay.
     """
     with np.load(path) as archive:
         manifest = json.loads(bytes(archive[_MANIFEST_KEY].tobytes()).decode("utf-8"))
-        if manifest.get("version") != CHECKPOINT_VERSION:
+        if manifest.get("version") not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported checkpoint version: {manifest.get('version')}"
             )
-        db = AdaptiveDatabase(_config_from_dict(manifest["config"]), backend=backend)
-        for table_name, table_meta in manifest["tables"].items():
-            data = {
-                column_name: archive[column_meta["array"]]
-                for column_name, column_meta in table_meta["columns"].items()
-            }
-            db.create_table(table_name, data)
-            for column_name, column_meta in table_meta["columns"].items():
-                if not column_meta["views"] and not column_meta["generation_stopped"]:
-                    continue
-                layer = db.layer(table_name, column_name)
-                _rebuild_views(layer, column_meta["views"])
-                layer.view_index.generation_stopped = column_meta[
-                    "generation_stopped"
-                ]
+        db = AdaptiveDatabase(
+            _config_from_dict(manifest["config"]), backend=backend, **db_kwargs
+        )
+        restore_guard = db._wal is not None
+        if restore_guard:
+            db._replaying = True
+        try:
+            for table_name, table_meta in manifest["tables"].items():
+                data = {
+                    column_name: archive[column_meta["array"]]
+                    for column_name, column_meta in table_meta["columns"].items()
+                }
+                db.create_table(table_name, data)
+                tombstone_key = table_meta.get("tombstones")
+                if tombstone_key is not None:
+                    db.table(table_name).restore_tombstones(
+                        archive[tombstone_key]
+                    )
+                for column_name, column_meta in table_meta["columns"].items():
+                    if (
+                        not column_meta["views"]
+                        and not column_meta["generation_stopped"]
+                    ):
+                        continue
+                    layer = db.layer(table_name, column_name)
+                    _rebuild_views(layer, column_meta["views"])
+                    layer.view_index.generation_stopped = column_meta[
+                        "generation_stopped"
+                    ]
+        finally:
+            if restore_guard:
+                db._replaying = False
+        db._checkpoint_wal_lsn = int(manifest.get("wal_lsn", 0))
     return db
 
 

@@ -8,6 +8,7 @@ batched update path that keeps all partial views aligned.
 
 from __future__ import annotations
 
+import os
 import shutil
 import tempfile
 from typing import Mapping
@@ -24,6 +25,9 @@ from ..substrate import Substrate, make_substrate
 from ..tier import TierConfig, TieredPageStore, WriteBuffer
 from ..vm.cost import CostModel
 from ..vm.physical import PhysicalMemory
+from ..wal.config import DurabilityConfig
+from ..wal.log import WalFullError, WriteAheadLog
+from ..wal.records import encode_array
 from .adaptive import AdaptiveStorageLayer, QueryResult
 from .config import AdaptiveConfig
 from .snapshot import ColumnSnapshot, SnapshotManager
@@ -32,6 +36,9 @@ from .stats import MaintenanceStats
 #: Write-buffer auto-merge threshold for untiered databases (tiered
 #: databases configure it via :attr:`TierConfig.write_buffer_rows`).
 DEFAULT_WRITE_BUFFER_ROWS = 1024
+
+#: Checkpoint archive file name inside a durable directory.
+CHECKPOINT_FILE = "checkpoint.npz"
 
 
 class AdaptiveDatabase:
@@ -47,6 +54,8 @@ class AdaptiveDatabase:
         backend: str | Substrate = "simulated",
         resilience: ResilienceConfig | None = None,
         tiering: TierConfig | None = None,
+        durable_dir: str | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         """``auto_flush_threshold`` enables automatic batch view
         realignment: once a column's pending update log reaches the
@@ -78,6 +87,17 @@ class AdaptiveDatabase:
         tier governor enforces (see ``docs/tiering.md``).  Disarmed
         (the default), storage stays untiered and cost ledgers are
         bit-identical to a build without the subsystem.
+
+        ``durable_dir`` arms write-ahead durability: every logical
+        write (create/insert/update/delete) is journaled to a
+        :class:`~repro.wal.log.WriteAheadLog` under the directory
+        *before* it is applied — and therefore before any caller sees
+        it acknowledged.  ``durability`` tunes the log (fsync policy,
+        segment size, size cap); passing it without ``durable_dir`` is
+        an error.  Disarmed (the default), no WAL code runs and cost
+        ledgers are bit-identical to a build without the subsystem.
+        Use :meth:`recover` to reopen a durable directory after a
+        crash (checkpoint load + WAL tail replay).
         """
         if auto_flush_threshold is not None and auto_flush_threshold < 1:
             raise ValueError("auto_flush_threshold must be positive")
@@ -108,6 +128,26 @@ class AdaptiveDatabase:
                 f"tiering must be a TierConfig or None, got {tiering!r}"
             )
         self.tiering = tiering
+        #: Durable-journal state.  All of it stays inert (None / False)
+        #: when durability is off, so the untiered/undurable fast paths
+        #: and their cost bit-identity contracts are untouched.
+        self.durable_dir = durable_dir
+        self.durability: DurabilityConfig | None = None
+        self._wal: WriteAheadLog | None = None
+        self._replaying = False
+        self._last_acked_lsn = 0
+        if durable_dir is not None:
+            self.durability = durability or DurabilityConfig()
+            self._wal = WriteAheadLog(
+                durable_dir,
+                self.durability,
+                substrate=self.substrate,
+                cost=self.cost,
+                observer=self.observer,
+            )
+            self._last_acked_lsn = self._wal.lsn
+        elif durability is not None:
+            raise ValueError("durability= requires durable_dir=")
         self._write_buffers: dict[str, WriteBuffer] = {}
         self._spill_dir: str | None = None
         self._layers: dict[tuple[str, str], AdaptiveStorageLayer] = {}
@@ -118,6 +158,24 @@ class AdaptiveDatabase:
         """The shared cost model (simulated time, operation counters)."""
         return self.catalog.cost
 
+    # -- the durable journal ---------------------------------------------
+
+    def _journal(self, record: dict) -> None:
+        """Append one logical-op record to the WAL (journal-before-ack).
+
+        No-op when durability is off or while recovery is replaying
+        the log back into this database.  The assigned LSN becomes the
+        acknowledgement watermark the ``wal-consistency`` audit checks.
+        """
+        if self._wal is None or self._replaying:
+            return
+        self._last_acked_lsn = self._wal.append(record)
+
+    @property
+    def is_durable(self) -> bool:
+        """Whether writes are journaled to a write-ahead log."""
+        return self._wal is not None
+
     # -- schema ---------------------------------------------------------
 
     def create_table(self, name: str, data: Mapping[str, np.ndarray]) -> Table:
@@ -127,6 +185,26 @@ class AdaptiveDatabase:
         in a :class:`~repro.tier.TieredPageStore` and demoted down to
         the hot budget before any view exists.
         """
+        if self._wal is not None and not self._replaying:
+            # Journal-before-apply: pre-validate everything the apply
+            # path would reject, so a refused op never reaches the log.
+            if any(t.name == name for t in self.catalog.tables()):
+                raise ValueError(f"table {name!r} already exists")
+            if not data:
+                raise ValueError("a table needs at least one column")
+            row_counts = {np.asarray(values).size for values in data.values()}
+            if len(row_counts) != 1:
+                raise ValueError(f"columns disagree on row count: {row_counts}")
+            self._journal(
+                {
+                    "type": "create",
+                    "table": name,
+                    "columns": {
+                        column: encode_array(np.asarray(values))
+                        for column, values in data.items()
+                    },
+                }
+            )
         table = self.catalog.create_table(name, data)
         if self.tiering is not None:
             for column in table.columns.values():
@@ -341,6 +419,17 @@ class AdaptiveDatabase:
         if self._write_buffers.get(table_name):
             self.flush_inserts(table_name)
         result = self.query(table_name, column_name, lo, hi)
+        if self._wal is not None and not self._replaying:
+            # Journal the *resolved* rowids, not the predicate: replay
+            # must not depend on what the views look like at replay
+            # time, only on the log's total order.
+            self._journal(
+                {
+                    "type": "delete",
+                    "table": table_name,
+                    "rowids": [int(row) for row in result.rowids],
+                }
+            )
         return self.table(table_name).delete_rows(result.rowids)
 
     # -- updates -----------------------------------------------------------
@@ -354,6 +443,19 @@ class AdaptiveDatabase:
         realigns the column's partial views automatically.
         """
         table = self.table(table_name)
+        if self._wal is not None and not self._replaying:
+            table.column(column_name)  # journal-before-apply: validate
+            if table.is_deleted(row):  # raises IndexError out of range
+                raise KeyError(f"cannot update deleted row {row}")
+            self._journal(
+                {
+                    "type": "update",
+                    "table": table_name,
+                    "column": column_name,
+                    "row": int(row),
+                    "value": int(new_value),
+                }
+            )
         old = table.update(column_name, row, new_value)
         if (
             self.auto_flush_threshold is not None
@@ -379,6 +481,23 @@ class AdaptiveDatabase:
         :meth:`flush_inserts`.
         """
         table = self.table(table_name)
+        if self._wal is not None and not self._replaying:
+            if set(values) != set(table.column_names):
+                # Journal-before-apply: mirror the write buffer's
+                # validation so a rejected row never reaches the log.
+                raise ValueError(
+                    f"row must provide exactly the columns "
+                    f"{tuple(table.column_names)}, got {tuple(sorted(values))}"
+                )
+            self._journal(
+                {
+                    "type": "insert",
+                    "table": table_name,
+                    "values": {
+                        column: int(value) for column, value in values.items()
+                    },
+                }
+            )
         buffer = self._write_buffers.get(table_name)
         if buffer is None:
             buffer = WriteBuffer(table.column_names)
@@ -390,7 +509,9 @@ class AdaptiveDatabase:
             if self.tiering is not None
             else DEFAULT_WRITE_BUFFER_ROWS
         )
-        if len(buffer) >= threshold:
+        # During replay, merges happen exactly where the log's merge
+        # records sit, never from the threshold.
+        if len(buffer) >= threshold and not self._replaying:
             self.flush_inserts(table_name)
         return rowid
 
@@ -408,6 +529,15 @@ class AdaptiveDatabase:
         rows = len(buffer) if buffer is not None else 0
         if rows == 0:
             return {"merged_rows": 0, "new_rows": table.num_rows}
+        if self._wal is not None and not self._replaying:
+            try:
+                self._journal({"type": "merge", "table": table_name})
+            except WalFullError:
+                # A merge is physical layout, not logical content: the
+                # staged rows are already individually journaled, and
+                # recovery merges on demand.  Proceed without a marker
+                # rather than wedging ingest behind a full log.
+                pass
         for column_name in table.column_names:
             if len(table.pending_updates(column_name)):
                 self.flush_updates(table_name, column_name)
@@ -477,10 +607,14 @@ class AdaptiveDatabase:
         HEALTHY when resilience is disarmed or no layer exists yet.
         Query results are correct in every state — READONLY only stops
         the adaptive side-work, never the full-scan fallback.
+
+        With durability armed, the WAL's health folds in: persistent
+        fsync failure → DEGRADED, log at its size cap → READONLY.
         """
-        return worst_health(
-            layer.health() for layer in self._layers.values()
-        )
+        states = [layer.health() for layer in self._layers.values()]
+        if self._wal is not None:
+            states.append(self._wal.health())
+        return worst_health(states)
 
     def repair(self) -> bool:
         """Rebuild every quarantined view across all layers, on demand.
@@ -518,6 +652,89 @@ class AdaptiveDatabase:
                     status[column.name] = ts()
         return status
 
+    def wal_status(self) -> dict:
+        """WAL counters and policy ({} when durability is off)."""
+        if self._wal is None:
+            return {}
+        status = self._wal.status()
+        status["last_acked_lsn"] = self._last_acked_lsn
+        return status
+
+    # -- durability ----------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Flush every staged write down to the columns.
+
+        Pending in-place updates realign their views, staged
+        write-buffer rows merge, and (with durability armed) the WAL
+        syncs — the graceful-shutdown path of the serving layer.
+        """
+        for table in self.catalog.tables():
+            for column_name in table.column_names:
+                if len(table.pending_updates(column_name)):
+                    self.flush_updates(table.name, column_name)
+        for table_name, buffer in list(self._write_buffers.items()):
+            if len(buffer):
+                self.flush_inserts(table_name)
+        if self._wal is not None and not self._wal.closed:
+            self._wal.sync()
+
+    def checkpoint(self) -> dict:
+        """Write a durable checkpoint and prune the WAL behind it.
+
+        Staged rows merge first (with journaling suppressed — the
+        checkpoint captures the merged state, so a marker would be
+        redundant), the archive lands atomically via a temp file +
+        rename, then segments fully covered by the checkpoint are
+        deleted.  Pruning can clear a WAL-full READONLY latch.
+        """
+        if self._wal is None:
+            raise RuntimeError("checkpoint() needs a durable database (durable_dir=)")
+        from .checkpoint import save_database
+
+        was_replaying = self._replaying
+        self._replaying = True
+        try:
+            for table_name in list(self._write_buffers):
+                self.flush_inserts(table_name)
+        finally:
+            self._replaying = was_replaying
+        checkpoint_lsn = self._wal.lsn
+        final = os.path.join(self.durable_dir, CHECKPOINT_FILE)
+        tmp = os.path.join(self.durable_dir, "checkpoint.tmp.npz")
+        save_database(self, tmp, wal_lsn=checkpoint_lsn)
+        os.replace(tmp, final)
+        self._wal.prune(checkpoint_lsn)
+        self._wal.record_checkpoint(checkpoint_lsn)
+        return {
+            "checkpoint_lsn": checkpoint_lsn,
+            "path": final,
+            "wal": self._wal.status(),
+        }
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: str,
+        backend: str | Substrate = "simulated",
+        durability: DurabilityConfig | None = None,
+        **db_kwargs,
+    ) -> "AdaptiveDatabase":
+        """Crash-consistent reopen of a durable directory.
+
+        Loads the latest checkpoint (if any), replays the WAL tail —
+        truncating at the first torn record — and returns the recovered
+        database, already journaling new writes to the same log.  The
+        full :class:`~repro.wal.recovery.RecoveryReport` is available
+        as ``db.last_recovery``.
+        """
+        from ..wal.recovery import recover_database
+
+        db, _report = recover_database(
+            durable_dir, backend=backend, durability=durability, **db_kwargs
+        )
+        return db
+
     # -- cost --------------------------------------------------------------
 
     def total_sim_ns(self) -> float:
@@ -534,7 +751,14 @@ class AdaptiveDatabase:
         """Shut down all layers (stops background mapping threads),
         release pinned snapshots, and release backend resources (real
         mappings and file descriptors on the native backend; a no-op on
-        the simulated one)."""
+        the simulated one).  Durable databases flush staged writes and
+        sync-close the WAL first, so a clean shutdown leaves nothing to
+        replay."""
+        if self._wal is not None and not self._wal.closed:
+            try:
+                self.flush_all()
+            finally:
+                self._wal.close()
         for manager in self._snapshot_managers.values():
             manager.close()
         self._snapshot_managers.clear()

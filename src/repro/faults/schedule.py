@@ -54,6 +54,18 @@ class FaultKind(str, Enum):
     #: write error).
     COLD_WRITE_FAIL = "cold_write_fail"
 
+    #: Appending a framed record to the write-ahead log failed (log
+    #: device I/O error before any byte of the frame landed).
+    WAL_APPEND_FAIL = "wal_append_fail"
+
+    #: fsync() of the active WAL segment failed; appended bytes stay in
+    #: the OS page cache but have no power-loss durability.
+    FSYNC_FAIL = "fsync_fail"
+
+    #: Short write: only a prefix of the frame reached the log, leaving
+    #: a torn record at the tail (the classic power-loss signature).
+    TORN_WRITE = "torn_write"
+
 
 #: Default fault kind per substrate operation (what failing that call
 #: naturally looks like).
@@ -69,6 +81,8 @@ DEFAULT_KINDS: dict[str, FaultKind] = {
     "maps_snapshot": FaultKind.MAPS_ERROR,
     "cold_read": FaultKind.COLD_READ_FAIL,
     "cold_write": FaultKind.COLD_WRITE_FAIL,
+    "wal_append": FaultKind.WAL_APPEND_FAIL,
+    "fsync": FaultKind.FSYNC_FAIL,
 }
 
 
@@ -93,6 +107,11 @@ DEFAULT_TRANSIENT: dict[FaultKind, bool] = {
     # tier: the device comes back, so retries are the right response.
     FaultKind.COLD_READ_FAIL: True,
     FaultKind.COLD_WRITE_FAIL: True,
+    # Log-device hiccups clear like spill-device ones do; a torn write
+    # is not retried — the WAL repairs its tail by truncation instead.
+    FaultKind.WAL_APPEND_FAIL: True,
+    FaultKind.FSYNC_FAIL: True,
+    FaultKind.TORN_WRITE: False,
 }
 
 

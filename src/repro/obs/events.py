@@ -64,6 +64,9 @@ TOPIC_SERVER_SHED = "server.shed"
 #: Topic of tier placement changes (promotions, demotions, maintenance).
 TOPIC_TIER = "tier.placement"
 
+#: Topic of crash-consistent recoveries (checkpoint load + WAL replay).
+TOPIC_RECOVERY = "recovery.replay"
+
 #: Subscription wildcard: receive every topic.
 ALL_TOPICS = "*"
 

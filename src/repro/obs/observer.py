@@ -29,6 +29,7 @@ from .events import (
     TOPIC_MMAP,
     TOPIC_QUERY,
     TOPIC_REBUILD,
+    TOPIC_RECOVERY,
     TOPIC_RETRY,
     TOPIC_SERVER_ADMIT,
     TOPIC_SERVER_SHED,
@@ -168,6 +169,21 @@ class NullObserver:
         self, hot: int, cold: int, hit_ratio: float
     ) -> None:
         """Hook: tier maintenance finished (decay + budget enforcement)."""
+
+    def on_wal_append(self, nbytes: int) -> None:
+        """Hook: one framed record landed in the write-ahead log."""
+
+    def on_wal_fsync(self) -> None:
+        """Hook: the active WAL segment was fsynced."""
+
+    def on_recovery(
+        self,
+        replayed: int,
+        truncated_bytes: int,
+        checkpoint_lsn: int,
+        wal_lsn: int,
+    ) -> None:
+        """Hook: a crash-consistent recovery finished replaying."""
 
 
 #: The shared disabled observer (observation off, the default).
@@ -314,6 +330,18 @@ class Observer(NullObserver):
         )
         self._tier_hit_ratio = m.gauge(
             "tier_hit_ratio", "Fraction of page accesses served by the hot tier"
+        )
+        self._wal_appends = m.counter(
+            "wal_appends_total", "Framed records appended to the write-ahead log"
+        )
+        self._wal_bytes = m.counter(
+            "wal_bytes_total", "Bytes appended to the write-ahead log"
+        )
+        self._wal_fsyncs = m.counter(
+            "wal_fsyncs_total", "fsync() calls on the active WAL segment"
+        )
+        self._recoveries = m.counter(
+            "recoveries_total", "Crash-consistent recoveries completed"
         )
 
     def span(self, name: str, **attrs: object) -> ContextManager[Span]:
@@ -509,6 +537,31 @@ class Observer(NullObserver):
             hot=hot,
             cold=cold,
             hit_ratio=hit_ratio,
+        )
+
+    # -- durability hooks -------------------------------------------------
+
+    def on_wal_append(self, nbytes: int) -> None:
+        self._wal_appends.inc()
+        self._wal_bytes.inc(nbytes)
+
+    def on_wal_fsync(self) -> None:
+        self._wal_fsyncs.inc()
+
+    def on_recovery(
+        self,
+        replayed: int,
+        truncated_bytes: int,
+        checkpoint_lsn: int,
+        wal_lsn: int,
+    ) -> None:
+        self._recoveries.inc()
+        self.events.publish(
+            TOPIC_RECOVERY,
+            replayed=replayed,
+            truncated_bytes=truncated_bytes,
+            checkpoint_lsn=checkpoint_lsn,
+            wal_lsn=wal_lsn,
         )
 
     # -- SQL hooks ------------------------------------------------------

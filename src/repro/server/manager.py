@@ -148,6 +148,20 @@ class DatabaseManager:
 
     # -- lifecycle ------------------------------------------------------
 
+    def flush_all(self) -> None:
+        """Flush staged writes of every database (graceful shutdown).
+
+        Takes each database's request lock so a flush never interleaves
+        with a statement; databases without a ``flush_all`` (sharded)
+        are skipped — they stage nothing durable.
+        """
+        for name, db in list(self._dbs.items()):
+            flush = getattr(db, "flush_all", None)
+            if flush is None:
+                continue
+            with self._locks[name]:
+                flush()
+
     def close(self) -> None:
         """Close shared engines, then every registered database."""
         for engines in self._engines.values():

@@ -129,7 +129,11 @@ class _Handler(socketserver.StreamRequestHandler):
                     )
                 )
                 return
-            response = _dispatch(session, op, request)
+            self.server.request_started()  # type: ignore[attr-defined]
+            try:
+                response = _dispatch(session, op, request)
+            finally:
+                self.server.request_finished()  # type: ignore[attr-defined]
             self.wfile.write(encode(response_to_wire(response)))
 
     def _send_error(self, op: str, error: str, details: str) -> None:
@@ -206,6 +210,28 @@ class _Server(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    def request_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cv.notify_all()
+
+    def drain(self, timeout: float | None) -> bool:
+        """Wait until no statement is mid-dispatch; True when drained."""
+        with self._inflight_cv:
+            return self._inflight_cv.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
 
 class QueryServer:
     """Lifecycle wrapper: bind, serve on a background thread, stop."""
@@ -263,15 +289,23 @@ class QueryServer:
             self._server.manager = self.manager  # type: ignore[attr-defined]
         self._server.serve_forever()
 
-    def stop(self) -> None:
-        """Shut down the listener; closes the manager when owned."""
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: drain in-flight statements, flush, close.
+
+        Stops accepting connections, waits up to ``drain_timeout``
+        seconds for statements already mid-dispatch to finish, flushes
+        every database's staged writes (and WAL, when durable) through
+        the manager, then closes the manager when owned.
+        """
         if self._server is not None:
             self._server.shutdown()
+            self._server.drain(drain_timeout)
             self._server.server_close()
             self._server = None
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        self.manager.flush_all()
         if self._owns_manager:
             self.manager.close()
 

@@ -118,6 +118,16 @@ class Table:
             return None
         return self._deleted.copy()
 
+    def restore_tombstones(self, mask: np.ndarray) -> None:
+        """Install a checkpointed tombstone bitmap (recovery path)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_rows,):
+            raise ValueError(
+                f"tombstone mask of shape {mask.shape} does not fit a "
+                f"table of {self.num_rows} rows"
+            )
+        self._deleted = mask.copy()
+
     def live_row_mask(self, rows: np.ndarray) -> np.ndarray | None:
         """Boolean keep-mask for a selection, or None when nothing is
         deleted (the fast path)."""

@@ -111,6 +111,14 @@ class CostParameters:
     #: the cold read itself (install + placement bookkeeping).
     promote_ns: float = 600.0
 
+    #: Appending one framed record to the write-ahead log (CRC + frame
+    #: assembly + buffered append into the OS page cache).
+    wal_append_ns: float = 900.0
+
+    #: One fsync() of the active WAL segment (flash-class device flush;
+    #: this is the dominant term of ``fsync=always`` ingest).
+    fsync_ns: float = 120_000.0
+
     #: Bandwidth penalty factors for the in-page value stream, by page
     #: access kind.  Scanning virtually *contiguous* memory streams at
     #: peak bandwidth; jumping between scattered 4 KiB pages restarts
@@ -418,3 +426,16 @@ class CostModel:
         """Charge promoting ``n`` pages from the cold to the hot tier."""
         self.ledger.charge(n * self.params.promote_ns, lane)
         self.ledger.count("tier_promotions", n)
+
+    # -- durability costs --------------------------------------------------
+
+    def wal_append(self, nbytes: int, lane: str = MAIN_LANE) -> None:
+        """Charge appending one ``nbytes``-byte framed record to the WAL."""
+        self.ledger.charge(self.params.wal_append_ns, lane)
+        self.ledger.count("wal_appends")
+        self.ledger.count("wal_bytes", nbytes)
+
+    def fsync(self, lane: str = MAIN_LANE) -> None:
+        """Charge one fsync() of the active WAL segment."""
+        self.ledger.charge(self.params.fsync_ns, lane)
+        self.ledger.count("fsyncs")

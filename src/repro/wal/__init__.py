@@ -1,0 +1,42 @@
+"""Write-ahead durability: the log, crash points, and recovery.
+
+The facade journals every logical write to a
+:class:`~repro.wal.log.WriteAheadLog` *before* applying (and therefore
+before acknowledging) it; :func:`~repro.wal.recovery.recover_database`
+rebuilds the database after any kind of death from the latest
+checkpoint plus the log's trusted tail.  ``docs/durability.md`` has
+the format, the fsync policies, and the crash matrix.
+"""
+
+from .config import FSYNC_POLICIES, DurabilityConfig
+from .crashpoint import PHASES, CrashPointSchedule, SimulatedCrash
+from .log import WalFullError, WriteAheadLog
+from .records import (
+    TornRecord,
+    WalScan,
+    decode_array,
+    encode_array,
+    encode_record,
+    scan_wal,
+    truncate_torn,
+)
+from .recovery import RecoveryReport, recover_database
+
+__all__ = [
+    "CrashPointSchedule",
+    "DurabilityConfig",
+    "FSYNC_POLICIES",
+    "PHASES",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "TornRecord",
+    "WalFullError",
+    "WalScan",
+    "WriteAheadLog",
+    "decode_array",
+    "encode_array",
+    "encode_record",
+    "recover_database",
+    "scan_wal",
+    "truncate_torn",
+]

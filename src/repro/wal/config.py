@@ -1,0 +1,58 @@
+"""Durability knobs for the write-ahead log.
+
+One frozen dataclass, validated on construction like
+:class:`~repro.resilience.policy.ResilienceConfig`, so a bad policy
+string fails at ``AdaptiveDatabase(...)`` time instead of at the first
+append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The accepted ``fsync`` policies, in increasing durability order.
+FSYNC_POLICIES = ("off", "batch", "always")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Write-ahead-log configuration.
+
+    ``fsync`` selects when the active segment is flushed to stable
+    storage: ``"always"`` after every append (full power-loss
+    durability, slowest), ``"batch"`` once ``batch_bytes`` of unsynced
+    frames accumulate (bounded loss window), ``"off"`` never (crash
+    safety against process kills only — the OS page cache still holds
+    every written byte).
+    """
+
+    #: When to fsync the active segment: ``"always" | "batch" | "off"``.
+    fsync: str = "batch"
+
+    #: Rotate to a fresh segment file once the active one exceeds this.
+    segment_bytes: int = 1 << 20
+
+    #: Total log size cap; appends beyond it raise
+    #: :class:`~repro.wal.log.WalFullError` (→ READONLY) until a
+    #: checkpoint prunes old segments.  ``None`` = unbounded.
+    max_bytes: int | None = None
+
+    #: Unsynced bytes that trigger a flush under ``fsync="batch"``.
+    batch_bytes: int = 64 * 1024
+
+    #: Consecutive fsync failures before the log reports DEGRADED.
+    fsync_fail_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        if self.segment_bytes < 1:
+            raise ValueError("segment_bytes must be positive")
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError("max_bytes must be positive when set")
+        if self.batch_bytes < 1:
+            raise ValueError("batch_bytes must be positive")
+        if self.fsync_fail_threshold < 1:
+            raise ValueError("fsync_fail_threshold must be positive")

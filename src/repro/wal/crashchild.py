@@ -1,0 +1,62 @@
+"""Subprocess workload for the real-SIGKILL crash harness.
+
+``python -m repro.wal.crashchild DIR SEED COUNT [BACKEND]`` opens (or
+creates) a durable database in ``DIR``, journals ``COUNT`` seeded
+inserts, and prints one flushed ``acked <i> <value>`` line *after* each
+write returns — i.e. after the WAL append the ack contract requires.
+The parent test SIGKILLs the process mid-stream, recovers the
+directory, and asserts every acked value is present: lines the kernel
+delivered are writes the log must replay.
+
+The child never exits on its own before the final ``done`` line, so a
+fast parent can kill it at any acked prefix.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from ..core.facade import AdaptiveDatabase
+from .config import DurabilityConfig
+
+TABLE = "crash"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(
+            "usage: python -m repro.wal.crashchild DIR SEED COUNT [BACKEND]",
+            file=sys.stderr,
+        )
+        return 2
+    durable_dir = argv[0]
+    seed = int(argv[1])
+    count = int(argv[2])
+    backend = argv[3] if len(argv) > 3 else "simulated"
+
+    rng = np.random.default_rng(seed)
+    db = AdaptiveDatabase(
+        backend=backend,
+        durable_dir=durable_dir,
+        # fsync never blocks the harness: SIGKILL keeps the page cache,
+        # so "off" exercises the pure append/ack path at full speed.
+        durability=DurabilityConfig(fsync="off"),
+    )
+    db.create_table(
+        TABLE,
+        {"k": np.arange(4, dtype=np.int64), "v": np.zeros(4, dtype=np.int64)},
+    )
+    print("ready", flush=True)
+    for i in range(count):
+        value = int(rng.integers(0, 1_000_000))
+        db.insert(TABLE, {"k": 1000 + i, "v": value})
+        print(f"acked {i} {value}", flush=True)
+    db.close()
+    print("done", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

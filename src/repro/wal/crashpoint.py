@@ -1,0 +1,99 @@
+"""Deterministic crash-point schedules for the durability fuzz plane.
+
+A :class:`CrashPointSchedule` picks — from a seed — *which* WAL append
+dies and *at which phase* of the append protocol, then raises
+:class:`SimulatedCrash` at exactly that point.  The test harness
+abandons the database object without closing it (that is what a
+``SIGKILL`` looks like from the inside) and recovers the durable
+directory, checking the recovered state against an oracle over the
+acknowledged prefix.
+
+Phases, in protocol order:
+
+``before_append``
+    The process dies before any byte of the frame lands — the op was
+    never acked, recovery must not observe it.
+``torn``
+    A prefix of the frame lands and then the process dies — the
+    classic power-loss tear; recovery must truncate it.
+``after_append``
+    The full frame landed (OS page cache) but no fsync happened — the
+    op was *not yet acked* by the facade, but a process-kill crash
+    preserves it, so recovery may legitimately observe it.
+``after_fsync``
+    The frame is on stable storage and the append returned;
+    depending on where the facade was, the op may or may not be acked.
+
+The "acked ≤ replayed ≤ issued" oracle bound in
+``tests/wal/test_crashpoints.py`` is exactly the union of these cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Crash phases in protocol order.
+PHASES = ("before_append", "torn", "after_append", "after_fsync")
+
+
+class SimulatedCrash(RuntimeError):
+    """The process 'died' at a scheduled crash point."""
+
+    def __init__(self, phase: str, append_index: int) -> None:
+        super().__init__(f"simulated crash at {phase} of append #{append_index}")
+        self.phase = phase
+        self.append_index = append_index
+
+
+class CrashPointSchedule:
+    """One seeded crash: append number × protocol phase.
+
+    ``horizon`` bounds the append index the crash is drawn from; a
+    workload issuing fewer appends than the drawn index simply never
+    crashes (the sweep counts those as clean sessions).
+    """
+
+    def __init__(self, seed: int, horizon: int = 64) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.crash_index = int(rng.integers(1, horizon + 1))
+        self.crash_phase = str(rng.choice(PHASES))
+        #: Appends begun so far (1-based after the first begin_append).
+        self.appends = 0
+        #: Whether the crash has fired.
+        self.fired = False
+
+    def begin_append(self) -> None:
+        """Advance to the next append."""
+        self.appends += 1
+
+    def _armed(self, phase: str) -> bool:
+        return (
+            not self.fired
+            and self.appends == self.crash_index
+            and phase == self.crash_phase
+        )
+
+    def imminent(self, phase: str) -> bool:
+        """True when :meth:`check` of ``phase`` would crash right now.
+
+        The WAL uses this to decide whether to write a *partial* frame
+        before a ``torn`` crash point fires.
+        """
+        return self._armed(phase)
+
+    def check(self, phase: str) -> None:
+        """Crash here if this is the scheduled point."""
+        if self._armed(phase):
+            self.fired = True
+            raise SimulatedCrash(phase, self.appends)
+
+    def describe(self) -> str:
+        """One human-readable line (diagnostics / failure replay)."""
+        status = "fired" if self.fired else "armed"
+        return (
+            f"crash at {self.crash_phase} of append #{self.crash_index} "
+            f"(seed {self.seed}, {status})"
+        )

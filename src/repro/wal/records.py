@@ -1,0 +1,188 @@
+"""WAL record framing: CRC32-guarded JSON frames and the tail scanner.
+
+Frame layout (little-endian)::
+
+    +----------+----------+------------------+
+    | crc32    | length   | body (JSON)      |
+    | 4 bytes  | 4 bytes  | ``length`` bytes |
+    +----------+----------+------------------+
+
+The CRC covers the body only; the length field is implicitly guarded
+because a corrupted length either points past EOF (torn) or reframes
+the body so the CRC no longer matches.  Bodies are canonical JSON
+(sorted keys, no whitespace) so a record re-encodes byte-identically —
+the determinism tests depend on that.
+
+Array payloads (``create`` column data, ``insert`` row values) travel
+as base64 of the int64 little-endian byte image; JSON numbers would
+round-trip fine but triple the frame size.
+
+:func:`scan_wal` reads every segment in order and stops at the *first*
+invalid frame — short header, short body, CRC mismatch, or undecodable
+JSON.  Everything before the tear is trusted (CRC-verified), everything
+at and after it is garbage by definition: an append-only log written by
+one writer can only be damaged at its tail.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import os
+import re
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: ``(crc32, body_length)`` frame header.
+HEADER = struct.Struct("<II")
+
+#: WAL segment file name pattern: ``wal-00000000.seg``, ``wal-00000001.seg``, ...
+SEGMENT_RE = re.compile(r"^wal-(\d{8})\.seg$")
+
+
+def segment_name(index: int) -> str:
+    """File name of the ``index``-th segment."""
+    return f"wal-{index:08d}.seg"
+
+
+def list_segments(directory: str | os.PathLike[str]) -> list[Path]:
+    """All WAL segment files under ``directory``, in log order."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    found = [
+        (int(m.group(1)), root / name)
+        for name in os.listdir(root)
+        if (m := SEGMENT_RE.match(name))
+    ]
+    return [path for _, path in sorted(found)]
+
+
+def encode_record(record: dict) -> bytes:
+    """Frame one record dict into CRC-guarded bytes."""
+    body = json.dumps(record, separators=(",", ":"), sort_keys=True).encode()
+    crc = binascii.crc32(body) & 0xFFFFFFFF
+    return HEADER.pack(crc, len(body)) + body
+
+
+def encode_array(values: np.ndarray) -> str:
+    """Base64 image of an int64 array (the JSON-safe payload form)."""
+    return base64.b64encode(
+        np.ascontiguousarray(values, dtype=np.int64).tobytes()
+    ).decode("ascii")
+
+
+def decode_array(payload: str) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    raw = base64.b64decode(payload.encode("ascii"))
+    return np.frombuffer(raw, dtype=np.int64).copy()
+
+
+@dataclass(frozen=True)
+class TornRecord:
+    """Where and why the scan stopped trusting the log."""
+
+    #: Segment file containing the tear.
+    segment: str
+    #: Byte offset of the first untrusted byte within that segment.
+    offset: int
+    #: Human-readable reason (short header / short body / crc mismatch /
+    #: bad json).
+    reason: str
+
+
+@dataclass
+class WalScan:
+    """Result of :func:`scan_wal`: the trusted prefix of the log."""
+
+    #: Every valid record, in append order.
+    records: list[dict] = field(default_factory=list)
+    #: The tear that ended the scan, or None for a clean log.
+    torn: TornRecord | None = None
+    #: Trusted bytes per segment file name.
+    valid_end: dict[str, int] = field(default_factory=dict)
+    #: Segment paths in log order.
+    segments: list[Path] = field(default_factory=list)
+    #: Bytes discarded at and after the tear (across all segments).
+    truncated_bytes: int = 0
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the last trusted record (0 for an empty log)."""
+        return int(self.records[-1]["lsn"]) if self.records else 0
+
+
+def scan_wal(directory: str | os.PathLike[str]) -> WalScan:
+    """Read all segments, stopping at the first invalid frame.
+
+    A tear in segment N discards the tail of N *and* every later
+    segment: records after a tear were appended after the torn one and
+    must not survive it (replay order would otherwise skip an op).
+    """
+    scan = WalScan(segments=list_segments(directory))
+    torn_at: int | None = None
+    for seg_index, path in enumerate(scan.segments):
+        data = path.read_bytes()
+        if torn_at is not None:
+            # Everything after a tear is discarded wholesale.
+            scan.valid_end[path.name] = 0
+            scan.truncated_bytes += len(data)
+            continue
+        offset = 0
+        while offset < len(data):
+            reason = None
+            if offset + HEADER.size > len(data):
+                reason = "short header"
+            else:
+                crc, length = HEADER.unpack_from(data, offset)
+                body = data[offset + HEADER.size : offset + HEADER.size + length]
+                if len(body) < length:
+                    reason = "short body"
+                elif binascii.crc32(body) & 0xFFFFFFFF != crc:
+                    reason = "crc mismatch"
+                else:
+                    try:
+                        record = json.loads(body)
+                    except ValueError:
+                        reason = "bad json"
+            if reason is not None:
+                scan.torn = TornRecord(
+                    segment=path.name, offset=offset, reason=reason
+                )
+                scan.truncated_bytes += len(data) - offset
+                torn_at = seg_index
+                break
+            scan.records.append(record)
+            offset += HEADER.size + length
+        scan.valid_end[path.name] = offset if torn_at is not None else len(data)
+    return scan
+
+
+def truncate_torn(directory: str | os.PathLike[str], scan: WalScan) -> int:
+    """Physically repair the tear found by ``scan``.
+
+    Truncates the torn segment back to its trusted prefix and deletes
+    every later segment.  Returns the number of bytes removed.  No-op
+    on a clean scan.
+    """
+    if scan.torn is None:
+        return 0
+    removed = 0
+    past_tear = False
+    for path in scan.segments:
+        if path.name == scan.torn.segment:
+            keep = scan.valid_end[path.name]
+            size = path.stat().st_size
+            if size > keep:
+                with open(path, "rb+") as fh:
+                    fh.truncate(keep)
+                removed += size - keep
+            past_tear = True
+        elif past_tear:
+            removed += path.stat().st_size
+            path.unlink()
+    return removed

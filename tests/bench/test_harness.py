@@ -20,6 +20,7 @@ from repro.bench.harness import (
     shard_count,
     tier_budget,
     verify_runs_agree,
+    wal_fsync_policy,
 )
 from repro.core.adaptive import AdaptiveStorageLayer
 from repro.core.config import AdaptiveConfig
@@ -137,6 +138,27 @@ class TestTierBudget:
             monkeypatch.setenv("REPRO_TIER_BUDGET", bad)
             with pytest.raises(ValueError, match="REPRO_TIER_BUDGET"):
                 tier_budget()
+
+
+class TestWalFsyncPolicy:
+    def test_default_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WAL_FSYNC", raising=False)
+        assert wal_fsync_policy() is None
+
+    def test_env_values_pass_through(self, monkeypatch):
+        for policy in ("always", "batch", "off"):
+            monkeypatch.setenv("REPRO_WAL_FSYNC", policy)
+            assert wal_fsync_policy() == policy
+
+    def test_unknown_policy_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WAL_FSYNC", "sometimes")
+        with pytest.raises(ValueError, match="REPRO_WAL_FSYNC"):
+            wal_fsync_policy()
+
+    def test_empty_policy_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WAL_FSYNC", "")
+        with pytest.raises(ValueError, match="REPRO_WAL_FSYNC"):
+            wal_fsync_policy()
 
 
 class TestSessionSeed:

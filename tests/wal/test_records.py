@@ -1,0 +1,152 @@
+"""Frame codec and tail-scanner semantics of the WAL record layer."""
+
+import numpy as np
+import pytest
+
+from repro.wal.records import (
+    HEADER,
+    decode_array,
+    encode_array,
+    encode_record,
+    list_segments,
+    scan_wal,
+    segment_name,
+    truncate_torn,
+)
+
+
+class TestFraming:
+    def test_frame_layout(self):
+        frame = encode_record({"type": "insert", "lsn": 1})
+        crc, length = HEADER.unpack_from(frame)
+        assert len(frame) == HEADER.size + length
+        assert crc != 0
+
+    def test_canonical_reencode_is_byte_identical(self):
+        """Key order must not change the frame (segment bookkeeping
+        re-encodes scanned records to recompute on-disk lengths)."""
+        a = encode_record({"b": 2, "a": 1, "lsn": 3})
+        b = encode_record({"lsn": 3, "a": 1, "b": 2})
+        assert a == b
+
+    def test_array_codec_round_trip(self):
+        values = np.array([-(2**62), -1, 0, 1, 2**62], dtype=np.int64)
+        assert np.array_equal(decode_array(encode_array(values)), values)
+
+    def test_array_codec_casts_smaller_dtypes(self):
+        values = np.arange(8, dtype=np.int32)
+        decoded = decode_array(encode_array(values))
+        assert decoded.dtype == np.int64
+        assert np.array_equal(decoded, values)
+
+
+class TestSegmentNaming:
+    def test_names_sort_in_log_order(self):
+        assert segment_name(0) < segment_name(1) < segment_name(10)
+
+    def test_list_segments_orders_and_filters(self, tmp_path):
+        (tmp_path / segment_name(2)).write_bytes(b"")
+        (tmp_path / segment_name(0)).write_bytes(b"")
+        (tmp_path / "not-a-segment.seg").write_bytes(b"")
+        (tmp_path / "wal-1.seg").write_bytes(b"")  # wrong digit count
+        names = [p.name for p in list_segments(tmp_path)]
+        assert names == [segment_name(0), segment_name(2)]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert list_segments(tmp_path / "nope") == []
+
+
+def _write_segment(path, records):
+    path.write_bytes(b"".join(encode_record(r) for r in records))
+
+
+class TestScan:
+    def test_clean_log(self, tmp_path):
+        records = [{"type": "insert", "lsn": i} for i in (1, 2, 3)]
+        _write_segment(tmp_path / segment_name(0), records)
+        scan = scan_wal(tmp_path)
+        assert scan.torn is None
+        assert scan.records == records
+        assert scan.last_lsn == 3
+        assert scan.truncated_bytes == 0
+
+    def test_empty_directory(self, tmp_path):
+        scan = scan_wal(tmp_path)
+        assert scan.records == []
+        assert scan.last_lsn == 0
+
+    @pytest.mark.parametrize(
+        "mutilate,reason",
+        [
+            (lambda raw: raw[:-3], "short"),  # mid-body tear
+            (lambda raw: raw[:-1], "short"),
+            (
+                lambda raw: raw[: -len(raw) // 3] + b"\x00" * (len(raw) // 3),
+                "crc mismatch",
+            ),
+        ],
+    )
+    def test_torn_tail_truncates_at_last_whole_frame(
+        self, tmp_path, mutilate, reason
+    ):
+        good = [{"type": "insert", "lsn": 1}, {"type": "insert", "lsn": 2}]
+        tail = encode_record({"type": "insert", "lsn": 3})
+        path = tmp_path / segment_name(0)
+        prefix = b"".join(encode_record(r) for r in good)
+        path.write_bytes(prefix + mutilate(tail))
+        scan = scan_wal(tmp_path)
+        assert scan.last_lsn == 2
+        assert scan.torn is not None
+        assert reason in scan.torn.reason
+        assert scan.valid_end[path.name] == len(prefix)
+
+    def test_corrupt_crc_with_valid_length_detected(self, tmp_path):
+        frame = bytearray(encode_record({"type": "insert", "lsn": 1}))
+        frame[HEADER.size] ^= 0xFF  # flip one body byte, CRC now stale
+        (tmp_path / segment_name(0)).write_bytes(bytes(frame))
+        scan = scan_wal(tmp_path)
+        assert scan.records == []
+        assert scan.torn.reason == "crc mismatch"
+
+    def test_tear_discards_all_later_segments(self, tmp_path):
+        _write_segment(
+            tmp_path / segment_name(0), [{"type": "insert", "lsn": 1}]
+        )
+        torn = encode_record({"type": "insert", "lsn": 2})
+        (tmp_path / segment_name(1)).write_bytes(torn[: len(torn) // 2])
+        _write_segment(
+            tmp_path / segment_name(2), [{"type": "insert", "lsn": 3}]
+        )
+        scan = scan_wal(tmp_path)
+        # lsn 3 is a *valid* frame, but it was appended after the torn
+        # record — trusting it would replay out of order.
+        assert scan.last_lsn == 1
+        assert scan.torn.segment == segment_name(1)
+        assert scan.valid_end[segment_name(2)] == 0
+
+
+class TestTruncateTorn:
+    def test_repairs_tear_and_unlinks_later_segments(self, tmp_path):
+        keep = encode_record({"type": "insert", "lsn": 1})
+        torn = encode_record({"type": "insert", "lsn": 2})
+        seg0 = tmp_path / segment_name(0)
+        seg1 = tmp_path / segment_name(1)
+        seg0.write_bytes(keep + torn[: len(torn) // 2])
+        _write_segment(seg1, [{"type": "insert", "lsn": 3}])
+        seg1_size = seg1.stat().st_size
+        scan = scan_wal(tmp_path)
+        removed = truncate_torn(tmp_path, scan)
+        assert removed == len(torn) // 2 + seg1_size
+        assert seg0.stat().st_size == len(keep)
+        assert not seg1.exists()
+        # The repaired log scans clean.
+        rescanned = scan_wal(tmp_path)
+        assert rescanned.torn is None
+        assert rescanned.last_lsn == 1
+
+    def test_noop_on_clean_log(self, tmp_path):
+        _write_segment(
+            tmp_path / segment_name(0), [{"type": "insert", "lsn": 1}]
+        )
+        scan = scan_wal(tmp_path)
+        assert truncate_torn(tmp_path, scan) == 0
